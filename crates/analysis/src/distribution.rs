@@ -1,0 +1,178 @@
+//! Delay distributions: percentiles and compact ASCII histograms.
+//!
+//! The headline metrics (max relative delay/jitter) tell the worst-case
+//! story; the distributions tell the typical-case one — e.g. E14's study
+//! of the randomized demultiplexor, or quantifying how rare the Θ(N)
+//! worst case is under benign load.
+
+use pps_core::prelude::*;
+
+/// Per-cell relative delays (`delay_PPS − delay_OQ`), one entry per cell
+/// delivered by both switches, in cell-id order.
+pub fn relative_delays(pps: &RunLog, oq: &RunLog) -> Vec<i64> {
+    assert_eq!(pps.len(), oq.len(), "logs must cover the same trace");
+    pps.records()
+        .iter()
+        .zip(oq.records())
+        .filter_map(|(p, o)| match (p.delay(), o.delay()) {
+            (Some(dp), Some(dq)) => Some(dp as i64 - dq as i64),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Order statistics of a sample.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Percentiles {
+    /// Sample size.
+    pub count: usize,
+    /// Minimum.
+    pub min: i64,
+    /// Median (lower interpolation).
+    pub p50: i64,
+    /// 95th percentile.
+    pub p95: i64,
+    /// 99th percentile.
+    pub p99: i64,
+    /// Maximum.
+    pub max: i64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Percentiles {
+    /// Compute order statistics (sorts a copy; `None` for empty input).
+    pub fn from(values: &[i64]) -> Option<Percentiles> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v = values.to_vec();
+        v.sort_unstable();
+        let at = |q: usize| v[(v.len().saturating_sub(1)) * q / 100];
+        Some(Percentiles {
+            count: v.len(),
+            min: v[0],
+            p50: at(50),
+            p95: at(95),
+            p99: at(99),
+            max: *v.last().unwrap(),
+            mean: v.iter().sum::<i64>() as f64 / v.len() as f64,
+        })
+    }
+
+    /// One-line summary for tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} min={} p50={} p95={} p99={} max={} mean={:.2}",
+            self.count, self.min, self.p50, self.p95, self.p99, self.max, self.mean
+        )
+    }
+}
+
+/// A fixed-bucket histogram over `[min, max]` with an ASCII rendering.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Vec<(i64, i64, usize)>, // [lo, hi), count
+}
+
+impl Histogram {
+    /// Bucket `values` into `buckets` equal-width bins (`None` if empty).
+    pub fn build(values: &[i64], buckets: usize) -> Option<Histogram> {
+        if values.is_empty() || buckets == 0 {
+            return None;
+        }
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        let width = (((max - min) as u64 / buckets as u64) + 1) as i64;
+        let mut out: Vec<(i64, i64, usize)> = (0..buckets)
+            .map(|b| {
+                let lo = min + b as i64 * width;
+                (lo, lo + width, 0)
+            })
+            .collect();
+        for &v in values {
+            let idx = (((v - min) / width) as usize).min(buckets - 1);
+            out[idx].2 += 1;
+        }
+        // Trim empty trailing buckets.
+        while out.len() > 1 && out.last().unwrap().2 == 0 {
+            out.pop();
+        }
+        Some(Histogram { buckets: out })
+    }
+
+    /// The `(lo, hi, count)` bins.
+    pub fn bins(&self) -> &[(i64, i64, usize)] {
+        &self.buckets
+    }
+
+    /// Render as an ASCII bar chart, `width` columns for the longest bar.
+    pub fn render(&self, width: usize) -> String {
+        let max_count = self.buckets.iter().map(|&(_, _, c)| c).max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for &(lo, hi, count) in &self.buckets {
+            let bar = "#".repeat((count * width).div_ceil(max_count).min(width));
+            out.push_str(&format!("{lo:>6}..{hi:<6} | {bar} {count}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_a_ramp() {
+        let v: Vec<i64> = (0..100).collect();
+        let p = Percentiles::from(&v).unwrap();
+        assert_eq!(p.min, 0);
+        assert_eq!(p.max, 99);
+        assert_eq!(p.p50, 49);
+        assert_eq!(p.p95, 94);
+        assert!((p.mean - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(Percentiles::from(&[]).is_none());
+        assert!(Histogram::build(&[], 4).is_none());
+    }
+
+    #[test]
+    fn single_value_sample() {
+        let p = Percentiles::from(&[7]).unwrap();
+        assert_eq!((p.min, p.p50, p.max), (7, 7, 7));
+    }
+
+    #[test]
+    fn histogram_counts_everything_once() {
+        let v: Vec<i64> = (0..50).map(|i| i % 10).collect();
+        let h = Histogram::build(&v, 5).unwrap();
+        let total: usize = h.bins().iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn histogram_renders_bars() {
+        let v = vec![0, 0, 0, 5, 9];
+        let h = Histogram::build(&v, 2).unwrap();
+        let s = h.render(10);
+        assert!(s.contains('#'), "{s}");
+        assert!(s.lines().count() >= 2);
+    }
+
+    #[test]
+    fn relative_delays_joins_by_id() {
+        // Reuse the RunLog machinery: two 2-cell logs.
+        let t = Trace::build(vec![Arrival::new(0, 0, 0), Arrival::new(1, 0, 0)], 1).unwrap();
+        let cells = t.cells(1);
+        let mut pps = RunLog::with_cells(&cells);
+        let mut oq = RunLog::with_cells(&cells);
+        pps.set_departure(CellId(0), 4);
+        pps.set_departure(CellId(1), 5);
+        oq.set_departure(CellId(0), 0);
+        oq.set_departure(CellId(1), 1);
+        assert_eq!(relative_delays(&pps, &oq), vec![4, 4]);
+    }
+}

@@ -1,0 +1,273 @@
+//! Relative queuing delay and relative delay jitter.
+
+use pps_core::prelude::*;
+use std::collections::BTreeMap;
+
+/// Distribution of per-cell relative delay `delay_PPS − delay_OQ`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RelativeDelay {
+    /// The paper's headline figure: the maximum over cells, in slots
+    /// (negative would mean the PPS beat the reference for every cell —
+    /// impossible for the maximum under a work-conserving reference, but
+    /// kept signed for honesty).
+    pub max: i64,
+    /// Mean over delivered cells.
+    pub mean: f64,
+    /// Cells delivered by both switches.
+    pub compared: usize,
+    /// Cells the PPS failed to deliver within the horizon (each a delay of
+    /// at least the remaining horizon; reported separately, not folded into
+    /// `max`).
+    pub pps_undelivered: usize,
+}
+
+/// Compute the relative-delay distribution from two logs over the same
+/// trace (joined by cell id).
+pub fn relative_delay(pps: &RunLog, oq: &RunLog) -> RelativeDelay {
+    assert_eq!(pps.len(), oq.len(), "logs must cover the same trace");
+    let mut max = i64::MIN;
+    let mut sum = 0i128;
+    let mut compared = 0usize;
+    let mut undelivered = 0usize;
+    for (p, o) in pps.records().iter().zip(oq.records().iter()) {
+        debug_assert_eq!(p.id, o.id);
+        match (p.delay(), o.delay()) {
+            (Some(dp), Some(dq)) => {
+                let d = dp as i64 - dq as i64;
+                max = max.max(d);
+                sum += d as i128;
+                compared += 1;
+            }
+            (None, _) => undelivered += 1,
+            (Some(_), None) => unreachable!("the OQ reference always drains"),
+        }
+    }
+    RelativeDelay {
+        max: if compared == 0 { 0 } else { max },
+        mean: if compared == 0 {
+            0.0
+        } else {
+            sum as f64 / compared as f64
+        },
+        compared,
+        pps_undelivered: undelivered,
+    }
+}
+
+/// Relative delay restricted to the cells of one output port.
+///
+/// The paper's bounds are per-output (the concentration happens on one
+/// hot output); composite multi-output attacks are checked output by
+/// output with this.
+pub fn relative_delay_for_output(pps: &RunLog, oq: &RunLog, output: PortId) -> RelativeDelay {
+    assert_eq!(pps.len(), oq.len(), "logs must cover the same trace");
+    let mut max = i64::MIN;
+    let mut sum = 0i128;
+    let mut compared = 0usize;
+    let mut undelivered = 0usize;
+    for (p, o) in pps.records().iter().zip(oq.records()) {
+        if p.output != output {
+            continue;
+        }
+        match (p.delay(), o.delay()) {
+            (Some(dp), Some(dq)) => {
+                let d = dp as i64 - dq as i64;
+                max = max.max(d);
+                sum += d as i128;
+                compared += 1;
+            }
+            (None, _) => undelivered += 1,
+            (Some(_), None) => unreachable!("the OQ reference always drains"),
+        }
+    }
+    RelativeDelay {
+        max: if compared == 0 { 0 } else { max },
+        mean: if compared == 0 {
+            0.0
+        } else {
+            sum as f64 / compared as f64
+        },
+        compared,
+        pps_undelivered: undelivered,
+    }
+}
+
+/// Per-flow delay jitter: the maximal difference in queuing delay between
+/// two delivered cells of the flow (0 for flows with fewer than two
+/// delivered cells).
+pub fn flow_jitters(log: &RunLog) -> BTreeMap<FlowId, u64> {
+    let mut minmax: BTreeMap<FlowId, (Slot, Slot)> = BTreeMap::new();
+    for rec in log.records() {
+        if let Some(d) = rec.delay() {
+            minmax
+                .entry(rec.flow())
+                .and_modify(|(lo, hi)| {
+                    *lo = (*lo).min(d);
+                    *hi = (*hi).max(d);
+                })
+                .or_insert((d, d));
+        }
+    }
+    minmax
+        .into_iter()
+        .map(|(f, (lo, hi))| (f, hi - lo))
+        .collect()
+}
+
+/// Relative delay jitter: `max_f (jitter_PPS(f) − jitter_OQ(f))` over
+/// flows present in either log (missing = 0).
+pub fn relative_jitter(pps: &RunLog, oq: &RunLog) -> i64 {
+    let jp = flow_jitters(pps);
+    let jq = flow_jitters(oq);
+    let mut flows: std::collections::BTreeSet<FlowId> = jp.keys().copied().collect();
+    flows.extend(jq.keys().copied());
+    flows
+        .into_iter()
+        .map(|f| {
+            *jp.get(&f).unwrap_or(&0) as i64 - *jq.get(&f).unwrap_or(&0) as i64
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Departure-rank relative delay for one output inside a window: compare
+/// the slot of the `k`-th departure from `output` in each switch,
+/// restricted to cells that *arrived* within `[window.0, window.1)`.
+///
+/// This is the congestion-period metric of Theorem 14: during a congested
+/// period both switches emit one cell per slot from the hot output, so the
+/// rank-wise difference is zero even if the cell *identities* at each rank
+/// differ (the PPS may serve flows in a different interleaving).
+pub fn rank_relative_delay(
+    pps: &RunLog,
+    oq: &RunLog,
+    output: PortId,
+    window: (Slot, Slot),
+) -> Vec<i64> {
+    let departures = |log: &RunLog| -> Vec<Slot> {
+        let mut d: Vec<Slot> = log
+            .records()
+            .iter()
+            .filter(|r| r.output == output && r.arrival >= window.0 && r.arrival < window.1)
+            .filter_map(|r| r.departure)
+            .collect();
+        d.sort_unstable();
+        d
+    };
+    let dp = departures(pps);
+    let dq = departures(oq);
+    dp.iter()
+        .zip(dq.iter())
+        .map(|(&a, &b)| a as i64 - b as i64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// (id, arrival, departure, input, output, seq)
+    type Row = (u64, Slot, Option<Slot>, u32, u32, u32);
+
+    fn log_with(delays: &[Row]) -> RunLog {
+        // (id, arrival, departure, input, output, seq)
+        let cells: Vec<Cell> = delays
+            .iter()
+            .map(|&(id, arrival, _, input, output, seq)| Cell {
+                id: CellId(id),
+                input: PortId(input),
+                output: PortId(output),
+                seq,
+                arrival,
+            })
+            .collect();
+        let mut log = RunLog::with_cells(&cells);
+        for &(id, _, dep, _, _, _) in delays {
+            if let Some(d) = dep {
+                log.set_departure(CellId(id), d);
+            }
+        }
+        log
+    }
+
+    #[test]
+    fn relative_delay_max_and_mean() {
+        let pps = log_with(&[
+            (0, 0, Some(5), 0, 0, 0), // delay 5
+            (1, 0, Some(1), 1, 0, 0), // delay 1
+        ]);
+        let oq = log_with(&[
+            (0, 0, Some(0), 0, 0, 0), // delay 0
+            (1, 0, Some(1), 1, 0, 0), // delay 1
+        ]);
+        let rd = relative_delay(&pps, &oq);
+        assert_eq!(rd.max, 5);
+        assert_eq!(rd.mean, 2.5);
+        assert_eq!(rd.compared, 2);
+        assert_eq!(rd.pps_undelivered, 0);
+    }
+
+    #[test]
+    fn undelivered_cells_are_counted_not_compared() {
+        let pps = log_with(&[(0, 0, None, 0, 0, 0)]);
+        let oq = log_with(&[(0, 0, Some(0), 0, 0, 0)]);
+        let rd = relative_delay(&pps, &oq);
+        assert_eq!(rd.pps_undelivered, 1);
+        assert_eq!(rd.compared, 0);
+    }
+
+    #[test]
+    fn per_output_restriction() {
+        let pps = log_with(&[
+            (0, 0, Some(9), 0, 0, 0), // output 0, delay 9
+            (1, 0, Some(1), 1, 1, 0), // output 1, delay 1
+        ]);
+        let oq = log_with(&[
+            (0, 0, Some(0), 0, 0, 0),
+            (1, 0, Some(0), 1, 1, 0),
+        ]);
+        assert_eq!(relative_delay_for_output(&pps, &oq, PortId(0)).max, 9);
+        assert_eq!(relative_delay_for_output(&pps, &oq, PortId(1)).max, 1);
+        assert_eq!(relative_delay_for_output(&pps, &oq, PortId(2)).compared, 0);
+    }
+
+    #[test]
+    fn jitter_is_max_delay_spread_per_flow() {
+        let log = log_with(&[
+            (0, 0, Some(0), 0, 0, 0),  // flow (0,0) delay 0
+            (1, 5, Some(12), 0, 0, 1), // flow (0,0) delay 7
+            (2, 0, Some(3), 1, 0, 0),  // flow (1,0) delay 3 (single cell)
+        ]);
+        let j = flow_jitters(&log);
+        assert_eq!(j[&FlowId::new(0, 0)], 7);
+        assert_eq!(j[&FlowId::new(1, 0)], 0);
+    }
+
+    #[test]
+    fn relative_jitter_subtracts_reference() {
+        let pps = log_with(&[
+            (0, 0, Some(0), 0, 0, 0),
+            (1, 1, Some(9), 0, 0, 1), // jitter 8
+        ]);
+        let oq = log_with(&[
+            (0, 0, Some(0), 0, 0, 0),
+            (1, 1, Some(4), 0, 0, 1), // jitter 3
+        ]);
+        assert_eq!(relative_jitter(&pps, &oq), 5);
+    }
+
+    #[test]
+    fn rank_relative_delay_ignores_identity() {
+        // PPS swaps which cell departs when, but ranks line up: zero.
+        let pps = log_with(&[
+            (0, 0, Some(1), 0, 0, 0),
+            (1, 0, Some(0), 1, 0, 0),
+        ]);
+        let oq = log_with(&[
+            (0, 0, Some(0), 0, 0, 0),
+            (1, 0, Some(1), 1, 0, 0),
+        ]);
+        let ranks = rank_relative_delay(&pps, &oq, PortId(0), (0, 10));
+        assert_eq!(ranks, vec![0, 0]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Adversary construction benches: cost of probing real demultiplexor
+//! state machines (the Theorem 6 alignment search) and of certifying
+//! traffic with the exact leaky-bucket calculator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pps_core::prelude::*;
+use pps_switch::demux::{PerFlowRoundRobinDemux, RandomDemux, RoundRobinDemux};
+use pps_traffic::adversary::{best_alignment, concentration_attack, urt_burst_attack};
+use pps_traffic::gen::BernoulliGen;
+use pps_traffic::min_burstiness;
+
+fn bench_alignment_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alignment_search");
+    g.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let k = 16;
+        let inputs: Vec<u32> = (0..n as u32).collect();
+        g.bench_with_input(BenchmarkId::new("round_robin", n), &inputs, |b, inp| {
+            let demux = RoundRobinDemux::new(n, k);
+            b.iter(|| best_alignment(black_box(&demux), inp, k, 0, 4 * k))
+        });
+        // The randomized automaton costs O(n) per clone-peek, so cap the
+        // probing benchmark at n = 256 (the 1024-point alignment is still
+        // exercised for round robin above).
+        if n <= 256 {
+            g.bench_with_input(BenchmarkId::new("randomized", n), &inputs, |b, inp| {
+                let demux = RandomDemux::new(n, 5);
+                b.iter(|| best_alignment(black_box(&demux), inp, k, 0, 8 * k))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_attack_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("attack_construction");
+    g.sample_size(10);
+    let (n, k, r_prime) = (256usize, 16usize, 4usize);
+    let cfg = PpsConfig::bufferless(n, k, r_prime);
+    let inputs: Vec<u32> = (0..n as u32).collect();
+    g.bench_function("concentration_rr", |b| {
+        let demux = RoundRobinDemux::new(n, k);
+        b.iter(|| concentration_attack(black_box(&demux), &cfg, &inputs, 4 * k))
+    });
+    g.bench_function("concentration_per_flow_rr", |b| {
+        let demux = PerFlowRoundRobinDemux::new(n, k);
+        b.iter(|| concentration_attack(black_box(&demux), &cfg, &inputs, 4 * k))
+    });
+    g.bench_function("urt_burst", |b| {
+        b.iter(|| urt_burst_attack(black_box(&cfg), 2))
+    });
+    g.finish();
+}
+
+fn bench_leaky_bucket_validator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("leaky_bucket_validator");
+    g.sample_size(10);
+    for slots in [1_000u64, 10_000] {
+        let n = 64;
+        let trace = BernoulliGen::uniform(0.9, 13).trace(n, slots);
+        g.throughput(Throughput::Elements(trace.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(slots), &trace, |b, t| {
+            b.iter(|| min_burstiness(black_box(t), n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    adversary,
+    bench_alignment_search,
+    bench_attack_construction,
+    bench_leaky_bucket_validator
+);
+criterion_main!(adversary);

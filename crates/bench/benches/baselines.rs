@@ -1,0 +1,76 @@
+//! Baseline-substrate benches: the iSLIP crossbar, the input-buffered PPS
+//! engine, and the jitter regulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pps_core::prelude::*;
+use pps_crossbar::run_crossbar;
+use pps_reference::regulator::{min_feasible_delay, regulate};
+use pps_switch::demux::{BufferedRoundRobinDemux, DelayedCpaDemux};
+use pps_switch::engine::run_buffered;
+use pps_traffic::gen::BernoulliGen;
+
+fn bench_crossbar(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crossbar_islip");
+    g.sample_size(10);
+    for n in [16usize, 64] {
+        let trace = BernoulliGen::uniform(0.95, 11).trace(n, 2_000);
+        g.throughput(Throughput::Elements(trace.len() as u64));
+        g.bench_with_input(BenchmarkId::new("iter1", n), &trace, |b, t| {
+            b.iter(|| run_crossbar(black_box(t), n, 1))
+        });
+        g.bench_with_input(BenchmarkId::new("iter3", n), &trace, |b, t| {
+            b.iter(|| run_crossbar(black_box(t), n, 3))
+        });
+    }
+    g.finish();
+}
+
+fn bench_buffered_engine(c: &mut Criterion) {
+    let (n, k, r_prime) = (64usize, 16usize, 4usize);
+    let trace = BernoulliGen::uniform(0.95, 13).trace(n, 1_000);
+    let mut g = c.benchmark_group("buffered_engine");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("buffered_rr", |b| {
+        b.iter(|| {
+            run_buffered(
+                PpsConfig::buffered(n, k, r_prime, 32),
+                BufferedRoundRobinDemux::new(n, k),
+                black_box(&trace),
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("delayed_cpa_u4", |b| {
+        let cfg = PpsConfig::buffered(n, k, r_prime, 4)
+            .with_discipline(OutputDiscipline::GlobalFcfs);
+        b.iter(|| {
+            run_buffered(cfg, DelayedCpaDemux::new(n, k, r_prime, 4), black_box(&trace)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_regulator(c: &mut Criterion) {
+    use pps_switch::demux::RoundRobinDemux;
+    use pps_switch::engine::run_bufferless;
+    let (n, k, r_prime) = (32usize, 8usize, 4usize);
+    let trace = BernoulliGen::uniform(0.9, 17).trace(n, 4_000);
+    let run = run_bufferless(
+        PpsConfig::bufferless(n, k, r_prime),
+        RoundRobinDemux::new(n, k),
+        &trace,
+    )
+    .unwrap();
+    let d = min_feasible_delay(&run.log);
+    let mut g = c.benchmark_group("jitter_regulator");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(run.log.len() as u64));
+    g.bench_function("regulate", |b| b.iter(|| regulate(black_box(&run.log), d)));
+    g.finish();
+}
+
+criterion_group!(baselines, bench_crossbar, bench_buffered_engine, bench_regulator);
+criterion_main!(baselines);

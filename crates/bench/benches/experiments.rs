@@ -1,0 +1,169 @@
+//! One Criterion bench per experiment (E1–E12, A1–A3): each regenerates
+//! its table/figure at a bench-friendly scale and reports the wall time of
+//! doing so. Run `cargo run --release -p pps-experiments --bin ppslab` for
+//! the full-scale tables recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pps_experiments as exp;
+
+fn bench_e1_partitioned(c: &mut Criterion) {
+    c.bench_function("e1_theorem6_point", |b| {
+        b.iter(|| {
+            exp::e01_partitioned::point(black_box(exp::e01_partitioned::Params {
+                n: 16,
+                k: 16,
+                r_prime: 2,
+                d: 8,
+            }))
+        })
+    });
+}
+
+fn bench_e2_unpartitioned(c: &mut Criterion) {
+    c.bench_function("e2_corollary7_point", |b| {
+        b.iter(|| exp::e02_unpartitioned::point(black_box(16), 8, 4))
+    });
+}
+
+fn bench_e3_fd_general(c: &mut Criterion) {
+    c.bench_function("e3_theorem8_point", |b| {
+        b.iter(|| exp::e03_fd_general::point(black_box(32), 8, 4))
+    });
+}
+
+fn bench_e4_urt(c: &mut Criterion) {
+    c.bench_function("e4_theorem10_point", |b| {
+        b.iter(|| exp::e04_urt::point(black_box(32), 8, 8, 4))
+    });
+}
+
+fn bench_e5_rt(c: &mut Criterion) {
+    c.bench_function("e5_corollary11_point", |b| {
+        b.iter(|| exp::e04_urt::point(black_box(32), 8, 8, 1))
+    });
+}
+
+fn bench_e6_buffered_cpa(c: &mut Criterion) {
+    use pps_traffic::gen::BernoulliGen;
+    let trace = BernoulliGen::uniform(0.85, 42).trace(16, 500);
+    c.bench_function("e6_theorem12_point", |b| {
+        b.iter(|| exp::e06_buffered_cpa::point(16, 8, 4, black_box(4), &trace))
+    });
+}
+
+fn bench_e7_buffered_fd(c: &mut Criterion) {
+    c.bench_function("e7_theorem13_point", |b| {
+        b.iter(|| exp::e07_buffered_fd::point(black_box(16), 8, 4, 16))
+    });
+}
+
+fn bench_e8_ftd_congestion(c: &mut Criterion) {
+    c.bench_function("e8_theorem14_point", |b| {
+        b.iter(|| exp::e08_ftd_congestion::point(black_box(16), 8, 2, 2, 400))
+    });
+}
+
+fn bench_e9_lb_violation(c: &mut Criterion) {
+    use pps_traffic::adversary::congestion_traffic;
+    use pps_traffic::min_burstiness;
+    c.bench_function("e9_proposition15_point", |b| {
+        b.iter(|| {
+            let t = congestion_traffic(16, 0, 2, black_box(400));
+            min_burstiness(&t.trace, 16).overall()
+        })
+    });
+}
+
+fn bench_e10_cpa(c: &mut Criterion) {
+    use pps_traffic::gen::BernoulliGen;
+    let trace = BernoulliGen::uniform(0.95, 21).trace(16, 800);
+    c.bench_function("e10_cpa_point", |b| {
+        b.iter(|| exp::e10_cpa::point(16, 8, 4, black_box(&trace)))
+    });
+}
+
+fn bench_e11_tightness(c: &mut Criterion) {
+    c.bench_function("e11_tightness_full", |b| b.iter(exp::e11_tightness::run));
+}
+
+fn bench_e12_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_scaling_point");
+    for n in [64usize, 256, 1024] {
+        g.bench_function(format!("n{n}"), |b| {
+            b.iter(|| exp::e12_scaling::point(black_box(n), 8, 4))
+        });
+    }
+    g.finish();
+}
+
+fn bench_e13_crossbar(c: &mut Criterion) {
+    c.bench_function("e13_architecture_point", |b| {
+        b.iter(|| exp::e13_crossbar_baseline::point(16, 8, 4, black_box(0.9), 77))
+    });
+}
+
+fn bench_e14_random_distribution(c: &mut Criterion) {
+    c.bench_function("e14_oblivious_point", |b| {
+        b.iter(|| exp::e14_random_distribution::oblivious_point(32, 8, 4, black_box(5)))
+    });
+}
+
+fn bench_e15_buffer_implications(c: &mut Criterion) {
+    c.bench_function("e15_point", |b| {
+        b.iter(|| exp::e15_buffer_implications::point(black_box(32), 8, 4))
+    });
+}
+
+fn bench_e16_small_buffers(c: &mut Criterion) {
+    c.bench_function("e16_stale_point", |b| {
+        b.iter(|| exp::e16_small_buffers::stale_point(32, 8, 8, 2, black_box(1)))
+    });
+}
+
+fn bench_e17_cioq(c: &mut Criterion) {
+    use pps_traffic::gen::{BernoulliGen, TrafficPattern};
+    let trace = BernoulliGen {
+        load: 0.95,
+        pattern: TrafficPattern::Hotspot { target: 0, hot: 0.35 },
+        seed: 61,
+    }
+    .trace(16, 1_000);
+    c.bench_function("e17_cioq_point_s2", |b| {
+        b.iter(|| exp::e17_cioq_speedup::point(16, 2, black_box(&trace)))
+    });
+}
+
+fn bench_ablation_suite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("a1_fault", |b| b.iter(exp::a1_fault::run));
+    g.bench_function("a2_speedup", |b| b.iter(exp::a2_speedup::run));
+    g.bench_function("a3_discipline", |b| b.iter(exp::a3_discipline::run));
+    g.finish();
+}
+
+criterion_group!(
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets = bench_e1_partitioned,
+        bench_e2_unpartitioned,
+        bench_e3_fd_general,
+        bench_e4_urt,
+        bench_e5_rt,
+        bench_e6_buffered_cpa,
+        bench_e7_buffered_fd,
+        bench_e8_ftd_congestion,
+        bench_e9_lb_violation,
+        bench_e10_cpa,
+        bench_e11_tightness,
+        bench_e12_scaling,
+        bench_e13_crossbar,
+        bench_e14_random_distribution,
+        bench_e15_buffer_implications,
+        bench_e16_small_buffers,
+        bench_e17_cioq,
+        bench_ablation_suite
+);
+criterion_main!(experiments);

@@ -1,0 +1,132 @@
+//! Simulator performance benches: engine throughput in cells/second across
+//! switch sizes, per-algorithm demultiplexing decision cost, and the
+//! shadow switch baseline. These are the numbers that justify the
+//! flat-array / event-agenda data-structure choices (DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pps_analysis::compare_bufferless;
+use pps_core::prelude::*;
+use pps_reference::oq::run_oq;
+use pps_switch::demux::{
+    CpaDemux, FtdDemux, PerFlowRoundRobinDemux, RandomDemux, RoundRobinDemux,
+    StaleLeastLoadedDemux, StaticPartitionDemux,
+};
+use pps_switch::engine::run_bufferless;
+use pps_traffic::gen::BernoulliGen;
+
+fn full_load_trace(n: usize, slots: Slot) -> Trace {
+    BernoulliGen::uniform(1.0, 11).trace(n, slots)
+}
+
+/// Engine throughput across switch sizes at full load.
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_throughput");
+    g.sample_size(10);
+    for &(n, k, r_prime) in &[(16usize, 8usize, 4usize), (64, 16, 4), (256, 32, 4)] {
+        let slots = 2_000u64;
+        let trace = full_load_trace(n, slots);
+        g.throughput(Throughput::Elements(trace.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("bufferless_rr", format!("n{n}_k{k}")),
+            &trace,
+            |b, t| {
+                b.iter(|| {
+                    run_bufferless(
+                        PpsConfig::bufferless(n, k, r_prime),
+                        RoundRobinDemux::new(n, k),
+                        black_box(t),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// The shadow switch alone, as the lower-bound cost of any comparison.
+fn bench_shadow_oq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shadow_oq");
+    g.sample_size(10);
+    for n in [64usize, 256] {
+        let trace = full_load_trace(n, 2_000);
+        g.throughput(Throughput::Elements(trace.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &trace, |b, t| {
+            b.iter(|| run_oq(black_box(t), n))
+        });
+    }
+    g.finish();
+}
+
+/// Per-algorithm cost of a full simulated run on identical traffic.
+fn bench_demux_algorithms(c: &mut Criterion) {
+    let (n, k, r_prime) = (64usize, 16usize, 4usize);
+    let trace = full_load_trace(n, 1_000);
+    let cfg = PpsConfig::bufferless(n, k, r_prime);
+    let mut g = c.benchmark_group("demux_cost");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("round_robin", |b| {
+        b.iter(|| run_bufferless(cfg, RoundRobinDemux::new(n, k), black_box(&trace)).unwrap())
+    });
+    g.bench_function("per_flow_rr", |b| {
+        b.iter(|| {
+            run_bufferless(cfg, PerFlowRoundRobinDemux::new(n, k), black_box(&trace)).unwrap()
+        })
+    });
+    g.bench_function("random", |b| {
+        b.iter(|| run_bufferless(cfg, RandomDemux::new(n, 3), black_box(&trace)).unwrap())
+    });
+    g.bench_function("static_partition", |b| {
+        b.iter(|| {
+            run_bufferless(
+                cfg,
+                StaticPartitionDemux::minimal(n, k, r_prime),
+                black_box(&trace),
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("ftd_h2", |b| {
+        b.iter(|| run_bufferless(cfg, FtdDemux::new(n, k, r_prime, 2), black_box(&trace)).unwrap())
+    });
+    g.bench_function("stale_least_loaded_u4", |b| {
+        b.iter(|| {
+            run_bufferless(cfg, StaleLeastLoadedDemux::new(n, k, 4), black_box(&trace)).unwrap()
+        })
+    });
+    g.bench_function("cpa", |b| {
+        let cfg = cfg.with_discipline(OutputDiscipline::GlobalFcfs);
+        b.iter(|| run_bufferless(cfg, CpaDemux::new(n, k, r_prime), black_box(&trace)).unwrap())
+    });
+    g.finish();
+}
+
+/// Full lockstep comparison (PPS + shadow + metrics join).
+fn bench_lockstep(c: &mut Criterion) {
+    let (n, k, r_prime) = (64usize, 16usize, 4usize);
+    let trace = full_load_trace(n, 1_000);
+    let cfg = PpsConfig::bufferless(n, k, r_prime);
+    let mut g = c.benchmark_group("lockstep_comparison");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("rr_vs_shadow", |b| {
+        b.iter(|| {
+            let cmp = compare_bufferless(cfg, RoundRobinDemux::new(n, k), black_box(&trace))
+                .unwrap();
+            (cmp.relative_delay().max, cmp.relative_jitter())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    simulator,
+    bench_engine_throughput,
+    bench_shadow_oq,
+    bench_demux_algorithms,
+    bench_lockstep
+);
+criterion_main!(simulator);

@@ -1,0 +1,2 @@
+//! Benchmark-only crate: see the `benches/` directory. The library target
+//! exists so the crate participates in the workspace; it re-exports nothing.

@@ -1,0 +1,185 @@
+//! Per-cell run records.
+//!
+//! Each switch engine (PPS and shadow) produces a [`RunLog`]: for every cell
+//! of the trace, when it arrived, when it departed, and — for the PPS —
+//! which plane carried it. Relative queuing delay and relative delay jitter
+//! are computed by joining two logs on [`CellId`] in `pps-analysis`.
+
+use crate::cell::Cell;
+use crate::ids::{CellId, FlowId, PlaneId, PortId};
+use crate::time::Slot;
+use serde::{Deserialize, Serialize};
+
+/// The fate of one cell in one switch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// The cell's global id.
+    pub id: CellId,
+    /// Input port.
+    pub input: PortId,
+    /// Output port.
+    pub output: PortId,
+    /// Per-flow sequence number.
+    pub seq: u32,
+    /// Arrival slot.
+    pub arrival: Slot,
+    /// Departure slot, or `None` if the cell was still queued when the
+    /// simulation horizon was reached.
+    pub departure: Option<Slot>,
+    /// Plane the cell traversed (PPS only; `None` in shadow-switch logs).
+    pub plane: Option<PlaneId>,
+}
+
+impl CellRecord {
+    /// Queuing delay in slots (`departure − arrival`), if the cell departed.
+    ///
+    /// A cell that departs in its arrival slot has delay 0 — the paper
+    /// explicitly allows this ("a cell can leave the PPS in the same
+    /// time-slot it arrives").
+    pub fn delay(&self) -> Option<Slot> {
+        self.departure.map(|d| d - self.arrival)
+    }
+
+    /// The record's flow.
+    pub fn flow(&self) -> FlowId {
+        FlowId {
+            input: self.input,
+            output: self.output,
+        }
+    }
+}
+
+/// Dense per-cell log of one simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunLog {
+    records: Vec<CellRecord>,
+}
+
+impl RunLog {
+    /// Pre-size a log for `cells` cells (records are inserted by id).
+    pub fn with_cells(cells: &[Cell]) -> Self {
+        RunLog {
+            records: cells
+                .iter()
+                .map(|c| CellRecord {
+                    id: c.id,
+                    input: c.input,
+                    output: c.output,
+                    seq: c.seq,
+                    arrival: c.arrival,
+                    departure: None,
+                    plane: None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Record the plane assignment of a cell.
+    pub fn set_plane(&mut self, id: CellId, plane: PlaneId) {
+        self.records[id.idx()].plane = Some(plane);
+    }
+
+    /// Record the departure slot of a cell.
+    ///
+    /// # Panics
+    /// Panics if the cell already departed — a duplicated departure is an
+    /// engine bug, never a modeling outcome.
+    pub fn set_departure(&mut self, id: CellId, slot: Slot) {
+        let rec = &mut self.records[id.idx()];
+        assert!(
+            rec.departure.is_none(),
+            "cell {id:?} departed twice (slots {:?} and {slot})",
+            rec.departure
+        );
+        rec.departure = Some(slot);
+    }
+
+    /// All records, indexed by cell id.
+    pub fn records(&self) -> &[CellRecord] {
+        &self.records
+    }
+
+    /// The record of a specific cell.
+    pub fn get(&self, id: CellId) -> &CellRecord {
+        &self.records[id.idx()]
+    }
+
+    /// Number of cells in the log.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of cells that never departed (still queued at horizon).
+    pub fn undelivered(&self) -> usize {
+        self.records.iter().filter(|r| r.departure.is_none()).count()
+    }
+
+    /// Maximum queuing delay over delivered cells.
+    pub fn max_delay(&self) -> Option<Slot> {
+        self.records.iter().filter_map(|r| r.delay()).max()
+    }
+
+    /// Mean queuing delay over delivered cells.
+    pub fn mean_delay(&self) -> Option<f64> {
+        let (sum, n) = self
+            .records
+            .iter()
+            .filter_map(|r| r.delay())
+            .fold((0u128, 0u64), |(s, n), d| (s + d as u128, n + 1));
+        (n > 0).then(|| sum as f64 / n as f64)
+    }
+
+    /// Latest departure slot in the log.
+    pub fn makespan(&self) -> Option<Slot> {
+        self.records.iter().filter_map(|r| r.departure).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Arrival, Trace};
+
+    fn demo_log() -> RunLog {
+        let t = Trace::build(
+            vec![Arrival::new(0, 0, 0), Arrival::new(1, 0, 0), Arrival::new(2, 1, 0)],
+            2,
+        )
+        .unwrap();
+        RunLog::with_cells(&t.cells(2))
+    }
+
+    #[test]
+    fn delays_and_aggregates() {
+        let mut log = demo_log();
+        log.set_departure(CellId(0), 0);
+        log.set_departure(CellId(1), 4);
+        assert_eq!(log.get(CellId(0)).delay(), Some(0));
+        assert_eq!(log.get(CellId(1)).delay(), Some(3));
+        assert_eq!(log.max_delay(), Some(3));
+        assert_eq!(log.mean_delay(), Some(1.5));
+        assert_eq!(log.undelivered(), 1);
+        assert_eq!(log.makespan(), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "departed twice")]
+    fn double_departure_is_a_bug() {
+        let mut log = demo_log();
+        log.set_departure(CellId(0), 1);
+        log.set_departure(CellId(0), 2);
+    }
+
+    #[test]
+    fn plane_assignment_is_recorded() {
+        let mut log = demo_log();
+        log.set_plane(CellId(2), PlaneId(1));
+        assert_eq!(log.get(CellId(2)).plane, Some(PlaneId(1)));
+        assert_eq!(log.get(CellId(0)).plane, None);
+    }
+}

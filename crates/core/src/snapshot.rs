@@ -1,0 +1,173 @@
+//! Global switch-state snapshots and the delayed-information bus.
+//!
+//! The paper classifies demultiplexing algorithms by the information they
+//! may consult (Section 1): *fully-distributed* algorithms see only their
+//! input port, *`u` real-time distributed* (`u`-RT) algorithms additionally
+//! see the global switch state **older than `u` slots**, and *centralized*
+//! algorithms see the current global state.
+//!
+//! [`GlobalSnapshot`] is the observable global state at one instant;
+//! [`SnapshotRing`] retains the last `u + 1` snapshots so the engine can
+//! hand each demultiplexor exactly the view its class entitles it to.
+
+use crate::time::Slot;
+use std::collections::VecDeque;
+
+/// Observable global state of a PPS at one slot.
+///
+/// Contents mirror the paper's notion of a *switch configuration*: the
+/// buffer contents of every plane (as per-destination queue lengths), the
+/// input-buffer occupancy, and the backlog at the output multiplexors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GlobalSnapshot {
+    /// Slot at which this snapshot was taken.
+    pub taken_at: Slot,
+    /// Number of planes `K`.
+    pub k: usize,
+    /// Number of ports `N`.
+    pub n: usize,
+    /// Queue length of plane `k`'s buffer for output `j`, at `k * n + j`.
+    pub plane_queue_len: Box<[u32]>,
+    /// Occupancy of each input-port buffer (all zero for a bufferless PPS).
+    pub input_buffer_len: Box<[u32]>,
+    /// Cells waiting at each output multiplexor.
+    pub output_pending: Box<[u32]>,
+}
+
+impl GlobalSnapshot {
+    /// An all-empty snapshot at `taken_at`.
+    pub fn empty(n: usize, k: usize, taken_at: Slot) -> Self {
+        GlobalSnapshot {
+            taken_at,
+            k,
+            n,
+            plane_queue_len: vec![0; k * n].into_boxed_slice(),
+            input_buffer_len: vec![0; n].into_boxed_slice(),
+            output_pending: vec![0; n].into_boxed_slice(),
+        }
+    }
+
+    /// Queue length of plane `plane`'s buffer for output `output`.
+    #[inline]
+    pub fn queue_len(&self, plane: usize, output: usize) -> u32 {
+        self.plane_queue_len[plane * self.n + output]
+    }
+
+    /// Total backlog destined for `output` across all planes.
+    pub fn backlog_for_output(&self, output: usize) -> u64 {
+        (0..self.k).map(|p| self.queue_len(p, output) as u64).sum()
+    }
+
+    /// Plane with the shortest queue for `output`, lowest index on ties.
+    pub fn least_loaded_plane_for(&self, output: usize) -> usize {
+        (0..self.k)
+            .min_by_key(|&p| (self.queue_len(p, output), p))
+            .expect("snapshot has at least one plane")
+    }
+
+    /// Planes sorted by ascending queue length for `output` (stable: ties
+    /// keep index order). This is the ranking a stale-information
+    /// least-loaded demultiplexor works from.
+    pub fn plane_ranking_for(&self, output: usize) -> Vec<usize> {
+        let mut planes: Vec<usize> = (0..self.k).collect();
+        planes.sort_by_key(|&p| (self.queue_len(p, output), p));
+        planes
+    }
+}
+
+/// Ring of recent snapshots implementing the `u`-slot information delay.
+#[derive(Clone, Debug)]
+pub struct SnapshotRing {
+    ring: VecDeque<GlobalSnapshot>,
+    delay: Slot,
+}
+
+impl SnapshotRing {
+    /// A ring serving views delayed by `delay` slots (`delay = 0` models a
+    /// centralized algorithm's immediate knowledge).
+    pub fn new(delay: Slot) -> Self {
+        SnapshotRing {
+            ring: VecDeque::with_capacity(delay as usize + 1),
+            delay,
+        }
+    }
+
+    /// The configured information delay `u`.
+    pub fn delay(&self) -> Slot {
+        self.delay
+    }
+
+    /// Record the snapshot for the current slot. Must be called with
+    /// strictly increasing `taken_at`.
+    pub fn push(&mut self, snap: GlobalSnapshot) {
+        if let Some(last) = self.ring.back() {
+            debug_assert!(snap.taken_at > last.taken_at, "snapshots must advance");
+        }
+        self.ring.push_back(snap);
+        while self.ring.len() > self.delay as usize + 1 {
+            self.ring.pop_front();
+        }
+    }
+
+    /// The view available at `now`: the snapshot taken at `now − delay`, or
+    /// `None` during the first `delay` slots of the run (when no
+    /// sufficiently old global information exists yet — the paper's `[0,
+    /// t − u]` window is empty).
+    pub fn view(&self, now: Slot) -> Option<&GlobalSnapshot> {
+        let want = now.checked_sub(self.delay)?;
+        // Snapshots are pushed every slot, so the front of the ring is the
+        // oldest retained; index arithmetic finds `want` directly.
+        let first = self.ring.front()?.taken_at;
+        let idx = want.checked_sub(first)? as usize;
+        self.ring.get(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(t: Slot, lens: &[u32]) -> GlobalSnapshot {
+        let mut s = GlobalSnapshot::empty(2, 2, t);
+        s.plane_queue_len.copy_from_slice(lens);
+        s
+    }
+
+    #[test]
+    fn least_loaded_breaks_ties_by_index() {
+        // k=2, n=2; output 1 queue lens: plane0 -> 5, plane1 -> 5.
+        let s = snap(0, &[0, 5, 9, 5]);
+        assert_eq!(s.least_loaded_plane_for(1), 0);
+        assert_eq!(s.least_loaded_plane_for(0), 0);
+        assert_eq!(s.plane_ranking_for(0), vec![0, 1]);
+        assert_eq!(s.backlog_for_output(1), 10);
+    }
+
+    #[test]
+    fn ring_serves_exactly_u_old_views() {
+        let mut ring = SnapshotRing::new(3);
+        for t in 0..10 {
+            ring.push(snap(t, &[t as u32, 0, 0, 0]));
+        }
+        // At slot 9 the view is the snapshot from slot 6.
+        assert_eq!(ring.view(9).unwrap().taken_at, 6);
+        // Older snapshots are discarded.
+        assert!(ring.view(3).is_none() || ring.view(3).unwrap().taken_at == 0);
+    }
+
+    #[test]
+    fn no_view_before_u_slots_elapse() {
+        let mut ring = SnapshotRing::new(5);
+        ring.push(snap(0, &[0, 0, 0, 0]));
+        ring.push(snap(1, &[0, 0, 0, 0]));
+        assert!(ring.view(1).is_none());
+        assert!(ring.view(4).is_none());
+    }
+
+    #[test]
+    fn zero_delay_is_the_centralized_view() {
+        let mut ring = SnapshotRing::new(0);
+        ring.push(snap(7, &[1, 2, 3, 4]));
+        assert_eq!(ring.view(7).unwrap().taken_at, 7);
+    }
+}

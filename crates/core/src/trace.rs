@@ -1,0 +1,281 @@
+//! Arrival traces.
+//!
+//! A [`Trace`] is the exact sequence of cell arrivals offered to a switch:
+//! *"the two switches receive the same cells, with the same destinations, on
+//! the same input-ports"* — both the PPS and the shadow reference switch
+//! consume the same trace, which is what makes relative queuing delay
+//! well-defined.
+//!
+//! The arrival model is enforced structurally: arrivals are kept sorted by
+//! slot and at most one cell may arrive per `(slot, input)` pair.
+
+use crate::cell::Cell;
+use crate::error::ModelError;
+use crate::ids::{CellId, PortId};
+use crate::time::Slot;
+use serde::{Deserialize, Serialize};
+
+/// One cell arrival: at `slot`, a cell destined for `output` arrives on
+/// `input`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arrival {
+    /// Arrival slot.
+    pub slot: Slot,
+    /// Input port.
+    pub input: PortId,
+    /// Destination output port.
+    pub output: PortId,
+}
+
+impl Arrival {
+    /// Shorthand constructor from raw indices.
+    pub fn new(slot: Slot, input: u32, output: u32) -> Self {
+        Arrival {
+            slot,
+            input: PortId(input),
+            output: PortId(output),
+        }
+    }
+}
+
+/// A validated arrival sequence for an `N × N` switch.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    arrivals: Vec<Arrival>,
+}
+
+impl Trace {
+    /// Build a trace from raw arrivals.
+    ///
+    /// Arrivals are sorted by `(slot, input)`; the build fails if two cells
+    /// share a `(slot, input)` pair (the external line carries at most one
+    /// cell per slot) or if any port index is `>= n`.
+    pub fn build(mut arrivals: Vec<Arrival>, n: usize) -> Result<Self, ModelError> {
+        arrivals.sort_by_key(|a| (a.slot, a.input));
+        for w in arrivals.windows(2) {
+            if w[0].slot == w[1].slot && w[0].input == w[1].input {
+                return Err(ModelError::MalformedTrace {
+                    reason: format!(
+                        "two arrivals on input {:?} in slot {}",
+                        w[0].input, w[0].slot
+                    ),
+                });
+            }
+        }
+        for a in &arrivals {
+            if a.input.idx() >= n || a.output.idx() >= n {
+                return Err(ModelError::MalformedTrace {
+                    reason: format!(
+                        "arrival {:?} references a port outside 0..{}",
+                        a, n
+                    ),
+                });
+            }
+        }
+        Ok(Trace { arrivals })
+    }
+
+    /// An empty trace.
+    pub fn empty() -> Self {
+        Trace::default()
+    }
+
+    /// Number of cells in the trace.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the trace carries no cells.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// The arrivals, sorted by `(slot, input)`.
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// Slot of the last arrival (0 for an empty trace).
+    pub fn horizon(&self) -> Slot {
+        self.arrivals.last().map_or(0, |a| a.slot)
+    }
+
+    /// Materialize the trace into [`Cell`]s with global ids in arrival order
+    /// and per-flow sequence numbers.
+    ///
+    /// Both switch engines inject exactly these cells, so per-cell records
+    /// can be joined by [`CellId`] afterwards.
+    pub fn cells(&self, n: usize) -> Vec<Cell> {
+        let mut seq = vec![0u32; n * n];
+        self.arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let f = a.input.idx() * n + a.output.idx();
+                let s = seq[f];
+                seq[f] += 1;
+                Cell {
+                    id: CellId(i as u64),
+                    input: a.input,
+                    output: a.output,
+                    seq: s,
+                    arrival: a.slot,
+                }
+            })
+            .collect()
+    }
+
+    /// Concatenate `other` onto this trace, shifting it to start `gap` slots
+    /// after this trace's horizon. Used by the adversary to compose the
+    /// alignment, quiescence and burst phases of Figure 2.
+    pub fn then(mut self, other: &Trace, gap: Slot) -> Self {
+        let base = if self.arrivals.is_empty() {
+            0
+        } else {
+            self.horizon() + 1 + gap
+        };
+        self.arrivals.extend(
+            other
+                .arrivals
+                .iter()
+                .map(|a| Arrival { slot: a.slot + base, ..*a }),
+        );
+        self
+    }
+
+    /// Shift every arrival `delta` slots later.
+    pub fn shifted(mut self, delta: Slot) -> Self {
+        for a in &mut self.arrivals {
+            a.slot += delta;
+        }
+        self
+    }
+
+    /// Merge two traces that are already disjoint in `(slot, input)`.
+    pub fn merge(self, other: Trace, n: usize) -> Result<Self, ModelError> {
+        let mut all = self.arrivals;
+        all.extend(other.arrivals);
+        Trace::build(all, n)
+    }
+
+    /// Group arrivals by slot: yields `(slot, &[Arrival])` in slot order.
+    pub fn by_slot(&self) -> BySlot<'_> {
+        BySlot {
+            arrivals: &self.arrivals,
+            pos: 0,
+        }
+    }
+}
+
+/// Iterator over per-slot arrival groups; see [`Trace::by_slot`].
+pub struct BySlot<'a> {
+    arrivals: &'a [Arrival],
+    pos: usize,
+}
+
+impl<'a> Iterator for BySlot<'a> {
+    type Item = (Slot, &'a [Arrival]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.arrivals.len() {
+            return None;
+        }
+        let slot = self.arrivals[self.pos].slot;
+        let start = self.pos;
+        while self.pos < self.arrivals.len() && self.arrivals[self.pos].slot == slot {
+            self.pos += 1;
+        }
+        Some((slot, &self.arrivals[start..self.pos]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_sorts_and_validates() {
+        let t = Trace::build(
+            vec![
+                Arrival::new(5, 1, 0),
+                Arrival::new(2, 0, 1),
+                Arrival::new(5, 0, 1),
+            ],
+            2,
+        )
+        .unwrap();
+        let slots: Vec<Slot> = t.arrivals().iter().map(|a| a.slot).collect();
+        assert_eq!(slots, vec![2, 5, 5]);
+        assert_eq!(t.horizon(), 5);
+    }
+
+    #[test]
+    fn duplicate_slot_input_is_rejected() {
+        let r = Trace::build(vec![Arrival::new(3, 1, 0), Arrival::new(3, 1, 1)], 2);
+        assert!(matches!(r, Err(ModelError::MalformedTrace { .. })));
+    }
+
+    #[test]
+    fn out_of_range_port_is_rejected() {
+        let r = Trace::build(vec![Arrival::new(0, 0, 7)], 2);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn cells_get_flow_sequence_numbers() {
+        let t = Trace::build(
+            vec![
+                Arrival::new(0, 0, 1),
+                Arrival::new(1, 0, 1),
+                Arrival::new(2, 0, 0),
+                Arrival::new(3, 0, 1),
+            ],
+            2,
+        )
+        .unwrap();
+        let cells = t.cells(2);
+        let seqs: Vec<u32> = cells.iter().map(|c| c.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 0, 2]);
+        // Ids are dense in arrival order.
+        assert_eq!(cells[3].id, CellId(3));
+    }
+
+    #[test]
+    fn same_slot_cells_ordered_by_input() {
+        let t = Trace::build(vec![Arrival::new(0, 1, 0), Arrival::new(0, 0, 0)], 2).unwrap();
+        let cells = t.cells(2);
+        assert_eq!(cells[0].input, PortId(0));
+        assert_eq!(cells[1].input, PortId(1));
+    }
+
+    #[test]
+    fn composition_shifts_past_horizon() {
+        let a = Trace::build(vec![Arrival::new(0, 0, 0), Arrival::new(4, 0, 0)], 1).unwrap();
+        let b = Trace::build(vec![Arrival::new(0, 0, 0)], 1).unwrap();
+        let c = a.then(&b, 10);
+        // horizon 4, +1, +gap 10 => second trace starts at 15.
+        assert_eq!(c.arrivals()[2].slot, 15);
+    }
+
+    #[test]
+    fn then_on_empty_starts_at_zero() {
+        let b = Trace::build(vec![Arrival::new(2, 0, 0)], 1).unwrap();
+        let c = Trace::empty().then(&b, 100);
+        assert_eq!(c.arrivals()[0].slot, 2);
+    }
+
+    #[test]
+    fn by_slot_groups() {
+        let t = Trace::build(
+            vec![
+                Arrival::new(1, 0, 0),
+                Arrival::new(1, 1, 0),
+                Arrival::new(3, 0, 0),
+            ],
+            2,
+        )
+        .unwrap();
+        let groups: Vec<(Slot, usize)> = t.by_slot().map(|(s, a)| (s, a.len())).collect();
+        assert_eq!(groups, vec![(1, 2), (3, 1)]);
+    }
+}

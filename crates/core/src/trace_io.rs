@@ -1,0 +1,131 @@
+//! Trace persistence: a plain CSV interchange format.
+//!
+//! Traces are the experimental record — the adversarial constructions in
+//! particular are worth archiving and replaying across machines and
+//! versions. The format is a three-column CSV (`slot,input,output`), one
+//! cell per line, understood by every plotting tool:
+//!
+//! ```text
+//! slot,input,output
+//! 0,3,0
+//! 1,4,0
+//! ```
+
+use crate::error::ModelError;
+use crate::trace::{Arrival, Trace};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Serialize a trace as CSV.
+pub fn write_csv<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "slot,input,output")?;
+    for a in trace.arrivals() {
+        writeln!(w, "{},{},{}", a.slot, a.input.0, a.output.0)?;
+    }
+    Ok(())
+}
+
+/// Parse a CSV trace for an `n`-port switch (validates like
+/// [`Trace::build`]).
+pub fn read_csv<R: Read>(r: R, n: usize) -> Result<Trace, ModelError> {
+    let reader = BufReader::new(r);
+    let mut arrivals = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| ModelError::MalformedTrace {
+            reason: format!("I/O error at line {}: {e}", lineno + 1),
+        })?;
+        let line = line.trim();
+        if line.is_empty() || (lineno == 0 && line.starts_with("slot")) {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let mut field = |name: &str| -> Result<u64, ModelError> {
+            parts
+                .next()
+                .ok_or_else(|| ModelError::MalformedTrace {
+                    reason: format!("line {}: missing {name}", lineno + 1),
+                })?
+                .trim()
+                .parse()
+                .map_err(|e| ModelError::MalformedTrace {
+                    reason: format!("line {}: bad {name}: {e}", lineno + 1),
+                })
+        };
+        let slot = field("slot")?;
+        let input = field("input")? as u32;
+        let output = field("output")? as u32;
+        arrivals.push(Arrival::new(slot, input, output));
+    }
+    Trace::build(arrivals, n)
+}
+
+/// Round-trip convenience: write `trace` to `path`.
+pub fn save(trace: &Trace, path: &std::path::Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_csv(trace, std::io::BufWriter::new(file))
+}
+
+/// Round-trip convenience: load a trace from `path`.
+pub fn load(path: &std::path::Path, n: usize) -> Result<Trace, ModelError> {
+    let file = std::fs::File::open(path).map_err(|e| ModelError::MalformedTrace {
+        reason: format!("cannot open {}: {e}", path.display()),
+    })?;
+    read_csv(file, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Trace {
+        Trace::build(
+            vec![
+                Arrival::new(0, 3, 0),
+                Arrival::new(1, 4, 0),
+                Arrival::new(7, 0, 2),
+            ],
+            5,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = demo();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let parsed = read_csv(&buf[..], 5).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn header_and_blank_lines_are_tolerated() {
+        let csv = "slot,input,output\n\n0,1,2\n\n3,0,1\n";
+        let t = read_csv(csv.as_bytes(), 3).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_line_numbers() {
+        let csv = "slot,input,output\n0,1,hello\n";
+        let err = read_csv(csv.as_bytes(), 3).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_ports_are_rejected() {
+        let csv = "0,9,0\n";
+        assert!(read_csv(csv.as_bytes(), 3).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("pps_trace_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        let t = demo();
+        save(&t, &path).unwrap();
+        let loaded = load(&path, 5).unwrap();
+        assert_eq!(loaded, t);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,217 @@
+//! Combined input-output-queued (CIOQ) crossbar with fabric speedup.
+//!
+//! The paper's related work (§1.3) cites Chuang, Goel, McKeown & Prabhakar:
+//! a CIOQ switch needs fabric speedup about 2 (exactly `2 − 1/N`) to
+//! exactly mimic an output-queued switch. This module implements a CIOQ
+//! crossbar with integer speedup `s` — the fabric runs `s` matching phases
+//! per slot — scheduled *critical cells first*: cells carry their FCFS-OQ
+//! departure deadlines (computable online at arrival, exactly like the
+//! PPS's CPA), each phase transfers a greedy earliest-deadline matching,
+//! and each output emits its earliest-deadline cell once per slot.
+//!
+//! Experiment E17 sweeps `s` across the threshold: at `s = 1` mimicking
+//! fails visibly, from `s = 2` the greedy scheduler tracks the reference
+//! closely — the same "speedup ≥ 2 buys exactness" phenomenon that CPA
+//! exhibits on the PPS (ablation A2), in a completely different
+//! architecture.
+
+use pps_core::prelude::*;
+use std::collections::BTreeSet;
+
+/// A CIOQ crossbar with `s` matching phases per slot.
+#[derive(Clone, Debug)]
+pub struct CioqSwitch {
+    n: usize,
+    speedup: usize,
+    /// VOQ `(i, j)` holding `(deadline, cell)` in FIFO (= deadline) order.
+    voqs: Vec<std::collections::VecDeque<(Slot, Cell)>>,
+    /// FCFS-OQ deadline oracle per output.
+    dt_last: Vec<Option<Slot>>,
+    /// Output-side buffers: cells awaiting emission, keyed by deadline.
+    outq: Vec<BTreeSet<(Slot, CellId)>>,
+    /// Cell payloads parked at the outputs.
+    parked: std::collections::HashMap<CellId, Cell>,
+    max_outq: usize,
+}
+
+impl CioqSwitch {
+    /// An idle `n × n` CIOQ switch with fabric speedup `s ≥ 1`.
+    pub fn new(n: usize, speedup: usize) -> Self {
+        CioqSwitch {
+            n,
+            speedup: speedup.max(1),
+            voqs: (0..n * n).map(|_| Default::default()).collect(),
+            dt_last: vec![None; n],
+            outq: (0..n).map(|_| BTreeSet::new()).collect(),
+            parked: Default::default(),
+            max_outq: 0,
+        }
+    }
+
+    /// Advance one slot.
+    pub fn slot(&mut self, now: Slot, arrivals: &[Cell], log: &mut RunLog) {
+        for cell in arrivals {
+            debug_assert_eq!(cell.arrival, now);
+            let j = cell.output.idx();
+            let dt = match self.dt_last[j] {
+                Some(prev) => now.max(prev + 1),
+                None => now,
+            };
+            self.dt_last[j] = Some(dt);
+            self.voqs[cell.input.idx() * self.n + j].push_back((dt, *cell));
+        }
+        // s phases of greedy earliest-deadline-first maximal matching.
+        for _phase in 0..self.speedup {
+            let mut heads: Vec<(Slot, CellId, usize, usize)> = Vec::new();
+            for i in 0..self.n {
+                for j in 0..self.n {
+                    if let Some(&(dt, cell)) = self.voqs[i * self.n + j].front() {
+                        heads.push((dt, cell.id, i, j));
+                    }
+                }
+            }
+            heads.sort_unstable();
+            let mut input_used = vec![false; self.n];
+            let mut output_used = vec![false; self.n];
+            for (_dt, _id, i, j) in heads {
+                if input_used[i] || output_used[j] {
+                    continue;
+                }
+                input_used[i] = true;
+                output_used[j] = true;
+                let (dt, cell) = self.voqs[i * self.n + j].pop_front().expect("head exists");
+                self.outq[j].insert((dt, cell.id));
+                self.parked.insert(cell.id, cell);
+            }
+        }
+        // Emission: earliest deadline per output, one per slot.
+        for j in 0..self.n {
+            self.max_outq = self.max_outq.max(self.outq[j].len());
+            if let Some(&(dt, id)) = self.outq[j].first() {
+                self.outq[j].remove(&(dt, id));
+                self.parked.remove(&id);
+                log.set_departure(id, now);
+            }
+        }
+    }
+
+    /// Cells still inside the switch.
+    pub fn backlog(&self) -> usize {
+        self.voqs.iter().map(|q| q.len()).sum::<usize>() + self.parked.len()
+    }
+
+    /// Largest output-queue occupancy reached.
+    pub fn max_output_queue(&self) -> usize {
+        self.max_outq
+    }
+}
+
+/// Run a trace through a fresh CIOQ switch until it drains.
+pub fn run_cioq(trace: &Trace, n: usize, speedup: usize) -> RunLog {
+    let cells = trace.cells(n);
+    let mut log = RunLog::with_cells(&cells);
+    let mut sw = CioqSwitch::new(n, speedup);
+    let mut next = 0usize;
+    let mut now: Slot = 0;
+    let mut scratch: Vec<Cell> = Vec::new();
+    let cap = trace.horizon() + (trace.len() as Slot + 2) * (n as Slot) + 64;
+    while next < cells.len() || sw.backlog() > 0 {
+        scratch.clear();
+        while next < cells.len() && cells[next].arrival == now {
+            scratch.push(cells[next]);
+            next += 1;
+        }
+        sw.slot(now, &scratch, &mut log);
+        now += 1;
+        if now > cap {
+            break;
+        }
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_reference::oq::run_oq;
+
+    fn trace(v: Vec<Arrival>, n: usize) -> Trace {
+        Trace::build(v, n).unwrap()
+    }
+
+    #[test]
+    fn lone_cell_is_passthrough() {
+        let t = trace(vec![Arrival::new(2, 0, 1)], 2);
+        let log = run_cioq(&t, 2, 2);
+        assert_eq!(log.get(CellId(0)).delay(), Some(0));
+    }
+
+    #[test]
+    fn speedup_two_mimics_oq_under_fanin() {
+        // The Chuang et al. worst-ish case flavour: several inputs burst
+        // into one output while also feeding others.
+        let n = 4;
+        let mut v = Vec::new();
+        for s in 0..60u64 {
+            for i in 0..n as u32 {
+                let j = if s % 3 == 0 { 0 } else { (i + s as u32) % n as u32 };
+                v.push(Arrival::new(s, i, j));
+            }
+        }
+        let t = trace(v, n);
+        let oq = run_oq(&t, n);
+        let cioq = run_cioq(&t, n, 2);
+        assert_eq!(cioq.undelivered(), 0);
+        for (a, b) in cioq.records().iter().zip(oq.records()) {
+            let rel = a.departure.unwrap() as i64 - b.departure.unwrap() as i64;
+            assert!(rel <= 1, "cell {:?} late by {rel}", a.id);
+        }
+    }
+
+    #[test]
+    fn speedup_one_falls_behind() {
+        // At s = 1 the fabric is the bottleneck: some cell must miss its
+        // OQ deadline under concentrated fan-in.
+        let n = 4;
+        let mut v = Vec::new();
+        for s in 0..80u64 {
+            for i in 0..n as u32 {
+                // Half the slots everyone hits output 0; otherwise spread.
+                let j = if s % 2 == 0 { 0 } else { i };
+                v.push(Arrival::new(s, i, j));
+            }
+        }
+        let t = trace(v, n);
+        let oq = run_oq(&t, n);
+        let cioq = run_cioq(&t, n, 1);
+        assert_eq!(cioq.undelivered(), 0);
+        let worst = cioq
+            .records()
+            .iter()
+            .zip(oq.records())
+            .map(|(a, b)| a.departure.unwrap() as i64 - b.departure.unwrap() as i64)
+            .max()
+            .unwrap();
+        assert!(worst > 0, "speedup 1 should visibly miss deadlines");
+    }
+
+    #[test]
+    fn flow_order_is_preserved() {
+        let n = 4;
+        let t = pps_traffic::gen::OnOffGen::uniform(8.0, 0.8, 3).trace(n, 400);
+        let log = run_cioq(&t, n, 2);
+        assert_eq!(log.undelivered(), 0);
+        assert!(pps_reference::checker::check_flow_order(&log).is_empty());
+    }
+
+    #[test]
+    fn higher_speedup_never_hurts() {
+        let n = 8;
+        let t = pps_traffic::gen::BernoulliGen::uniform(0.95, 9).trace(n, 800);
+        let d1 = run_cioq(&t, n, 1).mean_delay().unwrap();
+        let d2 = run_cioq(&t, n, 2).mean_delay().unwrap();
+        let d3 = run_cioq(&t, n, 3).mean_delay().unwrap();
+        assert!(d2 <= d1 + 1e-9);
+        assert!(d3 <= d2 + 1e-9);
+    }
+}

@@ -1,0 +1,182 @@
+//! The iSLIP iterative matching arbiter.
+//!
+//! Each slot the arbiter computes a conflict-free input/output matching
+//! over the non-empty VOQs in up to `iterations` request–grant–accept
+//! rounds:
+//!
+//! 1. **Request** — every unmatched input requests every output whose VOQ
+//!    is non-empty.
+//! 2. **Grant** — every unmatched output grants the requesting input
+//!    closest (cyclically) to its grant pointer.
+//! 3. **Accept** — every input accepts the granting output closest to its
+//!    accept pointer.
+//!
+//! Pointers advance **only when a grant is accepted in the first
+//! iteration** — the detail that makes iSLIP's pointers desynchronize and
+//! deliver 100% throughput under uniform traffic (and slot-exact service
+//! under admissible persistent patterns once desynchronized).
+
+/// Round-robin grant/accept state for an `N × N` arbiter.
+#[derive(Clone, Debug)]
+pub struct IslipArbiter {
+    n: usize,
+    iterations: usize,
+    grant_ptr: Vec<usize>,
+    accept_ptr: Vec<usize>,
+}
+
+impl IslipArbiter {
+    /// An arbiter for an `n × n` crossbar running `iterations` matching
+    /// rounds per slot (1 is classic SLIP; log₂N is the usual practical
+    /// choice).
+    pub fn new(n: usize, iterations: usize) -> Self {
+        IslipArbiter {
+            n,
+            iterations: iterations.max(1),
+            grant_ptr: vec![0; n],
+            accept_ptr: vec![0; n],
+        }
+    }
+
+    /// Number of ports.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Compute a matching. `occupied(i, j)` reports whether VOQ `(i, j)`
+    /// holds at least one cell. Returns `match_of_input[i] = Some(j)`.
+    pub fn matching<F: Fn(usize, usize) -> bool>(&mut self, occupied: F) -> Vec<Option<usize>> {
+        let n = self.n;
+        let mut input_matched: Vec<Option<usize>> = vec![None; n];
+        let mut output_matched: Vec<Option<usize>> = vec![None; n];
+        for iter in 0..self.iterations {
+            // Grant phase: each unmatched output picks among requesting
+            // unmatched inputs.
+            let mut grants: Vec<Option<usize>> = vec![None; n]; // output -> input
+            for j in 0..n {
+                if output_matched[j].is_some() {
+                    continue;
+                }
+                let start = self.grant_ptr[j];
+                for off in 0..n {
+                    let i = (start + off) % n;
+                    if input_matched[i].is_none() && occupied(i, j) {
+                        grants[j] = Some(i);
+                        break;
+                    }
+                }
+            }
+            // Accept phase: each input picks among its grants.
+            #[allow(clippy::needless_range_loop)] // i indexes three vectors
+            for i in 0..n {
+                if input_matched[i].is_some() {
+                    continue;
+                }
+                let start = self.accept_ptr[i];
+                let mut chosen: Option<usize> = None;
+                for off in 0..n {
+                    let j = (start + off) % n;
+                    if grants[j] == Some(i) {
+                        chosen = Some(j);
+                        break;
+                    }
+                }
+                if let Some(j) = chosen {
+                    input_matched[i] = Some(j);
+                    output_matched[j] = Some(i);
+                    // Pointer update only on first-iteration acceptance —
+                    // the desynchronization rule.
+                    if iter == 0 {
+                        self.grant_ptr[j] = (i + 1) % n;
+                        self.accept_ptr[i] = (j + 1) % n;
+                    }
+                }
+            }
+        }
+        input_matched
+    }
+
+    /// Reset pointers to the initial configuration.
+    pub fn reset(&mut self) {
+        self.grant_ptr.fill(0);
+        self.accept_ptr.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_request_is_matched() {
+        let mut a = IslipArbiter::new(4, 1);
+        let m = a.matching(|i, j| i == 2 && j == 3);
+        assert_eq!(m, vec![None, None, Some(3), None]);
+    }
+
+    #[test]
+    fn conflicting_requests_serialize() {
+        // Inputs 0 and 1 both want output 0 only: exactly one wins per
+        // call, and the pointer moves so they alternate.
+        let mut a = IslipArbiter::new(2, 1);
+        let occupied = |i: usize, j: usize| j == 0 && i < 2;
+        let w1 = a.matching(occupied)[0].is_some() as u8 + a.matching(occupied)[0].is_some() as u8;
+        // Over two slots both inputs get served once each.
+        let _ = w1;
+        let mut served = [0u8; 2];
+        a.reset();
+        for _ in 0..4 {
+            let m = a.matching(occupied);
+            for (i, mj) in m.iter().enumerate() {
+                if mj.is_some() {
+                    served[i] += 1;
+                }
+            }
+        }
+        assert_eq!(served, [2, 2], "round robin must alternate fairly");
+    }
+
+    #[test]
+    fn full_demand_yields_perfect_matching_after_desync() {
+        // All VOQs occupied: after a few slots the pointers desynchronize
+        // and every slot matches all N inputs (the classic iSLIP result).
+        let n = 8;
+        let mut a = IslipArbiter::new(n, 1);
+        let mut perfect = 0;
+        for slot in 0..3 * n {
+            let m = a.matching(|_, _| true);
+            let matched = m.iter().filter(|x| x.is_some()).count();
+            if slot >= n {
+                assert_eq!(matched, n, "slot {slot}: matching not perfect: {m:?}");
+            }
+            if matched == n {
+                perfect += 1;
+            }
+        }
+        assert!(perfect >= 2 * n);
+    }
+
+    #[test]
+    fn matching_is_conflict_free() {
+        let mut a = IslipArbiter::new(6, 3);
+        for _ in 0..32 {
+            let m = a.matching(|i, j| (i + j) % 2 == 0);
+            let outs: Vec<usize> = m.iter().flatten().copied().collect();
+            let set: std::collections::BTreeSet<usize> = outs.iter().copied().collect();
+            assert_eq!(outs.len(), set.len(), "two inputs matched one output");
+        }
+    }
+
+    #[test]
+    fn more_iterations_fill_the_matching() {
+        // A demand pattern where 1 iteration underfills but 2 converge:
+        // inputs {0,1} request {0,1} fully.
+        let occupied = |i: usize, j: usize| i < 2 && j < 2;
+        let mut a1 = IslipArbiter::new(4, 1);
+        let mut a2 = IslipArbiter::new(4, 2);
+        let m1 = a1.matching(occupied).iter().flatten().count();
+        let m2 = a2.matching(occupied).iter().flatten().count();
+        assert!(m2 >= m1);
+        assert_eq!(m2, 2, "two iterations must saturate the 2x2 block");
+    }
+}

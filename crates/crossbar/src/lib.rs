@@ -1,0 +1,35 @@
+//! # pps-crossbar — input-queued crossbar baseline
+//!
+//! The alternative to parallelism that motivates the PPS: a *single*
+//! `N × N` crossbar running at the full external rate `R`, with virtual
+//! output queues (VOQs) at the inputs and an iterative round-robin
+//! matching arbiter (iSLIP, after McKeown). The paper's related work
+//! (Tamir & Chi's arbitrated crossbars; Chuang et al.'s CIOQ speedup
+//! bound) frames the PPS against exactly this design point:
+//!
+//! * the crossbar needs its fabric and arbiter to run at rate `R` —
+//!   which is what becomes infeasible at high line rates and drives
+//!   designers to the PPS;
+//! * the PPS runs everything at `r < R` but pays the Ω((R/r − 1)·N)
+//!   relative delay of its distributed demultiplexors.
+//!
+//! Experiment E13 puts the two (plus the OQ ideal) on one delay-vs-load
+//! chart.
+//!
+//! The crossbar here is cycle-accurate under the same slotted model as
+//! the rest of the workspace: per slot at most one cell arrives per
+//! input, the arbiter computes a matching over non-empty VOQs, matched
+//! cells traverse the fabric and depart in the same slot (zero minimum
+//! transit, like the other engines), and per-flow order is preserved by
+//! construction (VOQs are FIFO and a flow lives in exactly one VOQ).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cioq;
+pub mod islip;
+pub mod switch;
+
+pub use cioq::{run_cioq, CioqSwitch};
+pub use islip::IslipArbiter;
+pub use switch::{run_crossbar, CrossbarSwitch};

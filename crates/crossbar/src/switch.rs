@@ -1,0 +1,180 @@
+//! The VOQ input-queued crossbar switch.
+
+use crate::islip::IslipArbiter;
+use pps_core::prelude::*;
+
+/// An `N × N` input-queued crossbar with per-input VOQs and an iSLIP
+/// arbiter, running at the external rate `R` (one matching per slot, one
+/// cell per matched pair per slot).
+#[derive(Clone, Debug)]
+pub struct CrossbarSwitch {
+    n: usize,
+    /// VOQ `(i, j)` at `i * n + j`.
+    voqs: Vec<FifoQueue<Cell>>,
+    arbiter: IslipArbiter,
+    transmitted: u64,
+}
+
+impl CrossbarSwitch {
+    /// An idle `n × n` crossbar with an `iterations`-round iSLIP arbiter.
+    pub fn new(n: usize, iterations: usize) -> Self {
+        CrossbarSwitch {
+            n,
+            voqs: (0..n * n).map(|_| FifoQueue::new()).collect(),
+            arbiter: IslipArbiter::new(n, iterations),
+            transmitted: 0,
+        }
+    }
+
+    /// Advance one slot: enqueue arrivals into their VOQs, compute the
+    /// matching, and transfer matched head cells (which depart this slot —
+    /// the crossbar is output-unbuffered at speedup 1).
+    pub fn slot(&mut self, now: Slot, arrivals: &[Cell], log: &mut RunLog) {
+        for cell in arrivals {
+            debug_assert_eq!(cell.arrival, now);
+            self.voqs[cell.input.idx() * self.n + cell.output.idx()].push(*cell);
+        }
+        let n = self.n;
+        let voqs = &self.voqs;
+        let matching = self.arbiter.matching(|i, j| !voqs[i * n + j].is_empty());
+        for (i, m) in matching.iter().enumerate() {
+            if let Some(j) = m {
+                let cell = self.voqs[i * n + j]
+                    .pop()
+                    .expect("arbiter only matches occupied VOQs");
+                log.set_departure(cell.id, now);
+                self.transmitted += 1;
+            }
+        }
+    }
+
+    /// Cells currently queued at the inputs.
+    pub fn backlog(&self) -> usize {
+        self.voqs.iter().map(|q| q.len()).sum()
+    }
+
+    /// Highest VOQ occupancy reached.
+    pub fn max_voq_occupancy(&self) -> usize {
+        self.voqs.iter().map(|q| q.max_occupancy()).max().unwrap_or(0)
+    }
+
+    /// Total cells transmitted.
+    pub fn transmitted(&self) -> u64 {
+        self.transmitted
+    }
+}
+
+/// Run a trace through a fresh crossbar until it drains; returns the log.
+pub fn run_crossbar(trace: &Trace, n: usize, iterations: usize) -> RunLog {
+    let cells = trace.cells(n);
+    let mut log = RunLog::with_cells(&cells);
+    let mut xb = CrossbarSwitch::new(n, iterations);
+    let mut next = 0usize;
+    let mut now: Slot = 0;
+    let mut scratch: Vec<Cell> = Vec::new();
+    let cap = trace.horizon() + (trace.len() as Slot + 2) * (n as Slot) + 64;
+    while next < cells.len() || xb.backlog() > 0 {
+        scratch.clear();
+        while next < cells.len() && cells[next].arrival == now {
+            scratch.push(cells[next]);
+            next += 1;
+        }
+        xb.slot(now, &scratch, &mut log);
+        now += 1;
+        if now > cap {
+            break;
+        }
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_reference::checker::{check_flow_order, check_work_conserving};
+
+    fn trace(v: Vec<Arrival>, n: usize) -> Trace {
+        Trace::build(v, n).unwrap()
+    }
+
+    #[test]
+    fn lone_cell_departs_immediately() {
+        let t = trace(vec![Arrival::new(3, 1, 2)], 4);
+        let log = run_crossbar(&t, 4, 1);
+        assert_eq!(log.get(CellId(0)).delay(), Some(0));
+    }
+
+    #[test]
+    fn permutation_traffic_is_eventually_zero_delay() {
+        // Persistent full-load permutation: once iSLIP desynchronizes,
+        // every cell departs in its arrival slot.
+        let n = 4;
+        let mut v = Vec::new();
+        for s in 0..200u64 {
+            for i in 0..n as u32 {
+                v.push(Arrival::new(s, i, (i + 1) % n as u32));
+            }
+        }
+        let log = run_crossbar(&trace(v, n), n, 1);
+        assert_eq!(log.undelivered(), 0);
+        let late: Vec<_> = log
+            .records()
+            .iter()
+            .filter(|r| r.arrival > 20 && r.delay().unwrap() > 0)
+            .collect();
+        assert!(late.is_empty(), "desynchronized iSLIP should be zero-delay: {late:?}");
+    }
+
+    #[test]
+    fn flow_order_is_preserved() {
+        let n = 4;
+        let t = {
+            let mut v = Vec::new();
+            for s in 0..100u64 {
+                for i in 0..n as u32 {
+                    v.push(Arrival::new(s, i, (s % n as u64) as u32));
+                }
+            }
+            trace(v, n)
+        };
+        let log = run_crossbar(&t, n, 2);
+        assert_eq!(log.undelivered(), 0);
+        assert!(check_flow_order(&log).is_empty());
+    }
+
+    #[test]
+    fn input_contention_shows_up_as_delay_unlike_oq() {
+        // All inputs persistently send to all outputs round-robin shifted
+        // so each slot has full demand; compare against the OQ reference:
+        // the crossbar serializes at the inputs and cannot beat OQ.
+        let n = 4;
+        let mut v = Vec::new();
+        for s in 0..200u64 {
+            for i in 0..n as u32 {
+                // Two inputs aim at the same output half the time.
+                v.push(Arrival::new(s, i, ((i / 2) * 2) % n as u32));
+            }
+        }
+        let t = trace(v, n);
+        let xb = run_crossbar(&t, n, 1);
+        let oq = pps_reference::oq::run_oq(&t, n);
+        assert_eq!(xb.undelivered(), 0);
+        let max_xb = xb.max_delay().unwrap();
+        let max_oq = oq.max_delay().unwrap();
+        assert!(max_xb >= max_oq, "crossbar {max_xb} vs oq {max_oq}");
+    }
+
+    #[test]
+    fn work_conservation_can_fail_at_inputs_but_throughput_is_full_uniform() {
+        // iSLIP is not work-conserving in the OQ sense (head-of-line at
+        // the matching), but under uniform load it sustains throughput.
+        let n = 8;
+        let t = pps_traffic::gen::BernoulliGen::uniform(0.95, 3).trace(n, 2_000);
+        let log = run_crossbar(&t, n, 3);
+        assert_eq!(log.undelivered(), 0);
+        // Work-conservation violations may exist; just quantify they are
+        // not catastrophic (fewer than 10% of busy slots).
+        let v = check_work_conserving(&log, None).len();
+        assert!(v < t.len() / 10, "excessive idling: {v}");
+    }
+}

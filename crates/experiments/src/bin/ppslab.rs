@@ -1,0 +1,135 @@
+//! `ppslab` — run the reproduction experiments and print their tables.
+//!
+//! ```text
+//! ppslab             # run everything, in paper order
+//! ppslab e2 e10      # run a subset
+//! ppslab --list      # list experiment ids
+//! ppslab --csv e12   # also dump each table as CSV after the text table
+//! ppslab --markdown  # emit GitHub-flavoured markdown instead of text
+//! ppslab --out results/   # also write every table as CSV into results/
+//! ppslab perf        # quick simulator-throughput summary
+//! ppslab --parallel  # run the (independent) experiments concurrently
+//! ppslab custom --n 32 --k 8 --rprime 4 --algo rr --workload attack
+//! ```
+
+use pps_experiments::registry;
+
+/// Quick simulator performance summary (no criterion; for the README's
+/// throughput claims use `cargo bench -p pps-bench`).
+fn perf() {
+    use pps_core::prelude::*;
+    use pps_switch::demux::RoundRobinDemux;
+    use pps_switch::engine::run_bufferless;
+    use pps_traffic::gen::BernoulliGen;
+    println!("simulator throughput (full-load Bernoulli, round robin, release build):");
+    for (n, k, r_prime, slots) in [
+        (16usize, 8usize, 4usize, 20_000u64),
+        (64, 16, 4, 10_000),
+        (256, 32, 4, 4_000),
+        (1024, 64, 8, 1_000),
+    ] {
+        let trace = BernoulliGen::uniform(1.0, 1).trace(n, slots);
+        let cells = trace.len();
+        let start = std::time::Instant::now();
+        let run = run_bufferless(
+            PpsConfig::bufferless(n, k, r_prime),
+            RoundRobinDemux::new(n, k),
+            &trace,
+        )
+        .expect("run");
+        let dt = start.elapsed();
+        assert_eq!(run.log.undelivered(), 0);
+        println!(
+            "  N={n:<5} K={k:<3} r'={r_prime:<2} {cells:>8} cells in {:>8.1?}  ({:>6.1} Mcells/s)",
+            dt,
+            cells as f64 / dt.as_secs_f64() / 1e6
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("perf") {
+        perf();
+        return;
+    }
+    if args.first().map(String::as_str) == Some("custom") {
+        match pps_experiments::custom::run_custom(&args[1..]) {
+            Ok(report) => print!("{report}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    let csv = args.iter().any(|a| a == "--csv");
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let out_dir: Option<String> = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned());
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create --out directory");
+    }
+    let wanted: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && (*i == 0 || args[*i - 1] != "--out"))
+        .map(|(_, a)| a)
+        .collect();
+    let reg = registry();
+    if args.iter().any(|a| a == "--list") {
+        for (id, _) in &reg {
+            println!("{id}");
+        }
+        return;
+    }
+    let parallel = args.iter().any(|a| a == "--parallel");
+    let selected: Vec<_> = reg
+        .iter()
+        .filter(|(id, _)| wanted.is_empty() || wanted.iter().any(|w| w.as_str() == *id))
+        .collect();
+    // Run (optionally in parallel — experiments are independent), then
+    // print in paper order.
+    let outputs: Vec<pps_experiments::ExperimentOutput> = if parallel {
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = selected
+                .iter()
+                .map(|(_, runner)| scope.spawn(move |_| runner()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("experiment")).collect()
+        })
+        .expect("scope")
+    } else {
+        selected.iter().map(|(_, runner)| runner()).collect()
+    };
+    let mut failures = 0usize;
+    for out in outputs {
+        if markdown {
+            print!("{}", out.render_markdown());
+        } else {
+            print!("{}", out.render());
+        }
+        if csv {
+            for t in &out.tables {
+                println!("--- csv ---");
+                print!("{}", t.to_csv());
+            }
+        }
+        if let Some(dir) = &out_dir {
+            for (i, t) in out.tables.iter().enumerate() {
+                let path = std::path::Path::new(dir).join(format!("{}_{i}.csv", out.id));
+                std::fs::write(&path, t.to_csv()).expect("write table CSV");
+            }
+        }
+        println!();
+        if !out.pass {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) FAILED");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,285 @@
+//! `ppslab custom` — run an arbitrary (geometry, algorithm, workload)
+//! combination and print the comparison, without writing code.
+//!
+//! ```text
+//! ppslab custom --n 32 --k 8 --rprime 4 --algo rr --workload attack
+//! ppslab custom --n 16 --k 8 --rprime 4 --algo cpa --workload bernoulli:0.95
+//! ppslab custom --n 64 --k 8 --rprime 8 --algo stale:2 --workload urt
+//! ppslab custom ... --save-trace /tmp/t.csv
+//! ```
+//!
+//! Algorithms: `rr`, `pfr` (per-flow RR), `random[:seed]`, `partition`
+//! (minimal static), `ftd[:h]`, `stale:u`, `lll` (local least-loaded),
+//! `hash`, `cpa`. Workloads: `attack` (the concentration attack against
+//! the chosen algorithm), `urt` (the Theorem 10 burst), `bernoulli:LOAD`,
+//! `onoff:LOAD`, `cbr:PERIOD`, `congestion:SENDERS`.
+
+use pps_analysis::{compare_bufferless, Comparison};
+use pps_core::prelude::*;
+use pps_switch::demux::*;
+use pps_traffic::adversary::{concentration_attack, congestion_traffic, urt_burst_attack};
+use pps_traffic::gen::{BernoulliGen, CbrGen, OnOffGen};
+use pps_traffic::{min_burstiness, TraceStats};
+
+/// Parsed custom-run request.
+#[derive(Clone, Debug)]
+pub struct CustomArgs {
+    n: usize,
+    k: usize,
+    r_prime: usize,
+    algo: String,
+    workload: String,
+    slots: Slot,
+    save_trace: Option<String>,
+}
+
+impl Default for CustomArgs {
+    fn default() -> Self {
+        CustomArgs {
+            n: 16,
+            k: 8,
+            r_prime: 4,
+            algo: "rr".into(),
+            workload: "bernoulli:0.9".into(),
+            slots: 2_000,
+            save_trace: None,
+        }
+    }
+}
+
+/// Parse `--key value` pairs following `custom`.
+pub fn parse_args(args: &[String]) -> Result<CustomArgs, String> {
+    let mut out = CustomArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--n" => out.n = val()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--k" => out.k = val()?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--rprime" => out.r_prime = val()?.parse().map_err(|e| format!("--rprime: {e}"))?,
+            "--algo" => out.algo = val()?,
+            "--workload" => out.workload = val()?,
+            "--slots" => out.slots = val()?.parse().map_err(|e| format!("--slots: {e}"))?,
+            "--save-trace" => out.save_trace = Some(val()?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(out)
+}
+
+fn split_param(s: &str) -> (&str, Option<&str>) {
+    match s.split_once(':') {
+        Some((a, b)) => (a, Some(b)),
+        None => (s, None),
+    }
+}
+
+enum Algo {
+    Rr(RoundRobinDemux),
+    Pfr(PerFlowRoundRobinDemux),
+    Random(RandomDemux),
+    Partition(StaticPartitionDemux),
+    Ftd(FtdDemux),
+    Stale(StaleLeastLoadedDemux),
+    Lll(LeastLoadedLocalDemux),
+    Hash(HashFlowDemux),
+    Cpa(CpaDemux),
+}
+
+fn build_algo(spec: &str, n: usize, k: usize, r_prime: usize) -> Result<Algo, String> {
+    let (name, param) = split_param(spec);
+    Ok(match name {
+        "rr" => Algo::Rr(RoundRobinDemux::new(n, k)),
+        "pfr" => Algo::Pfr(PerFlowRoundRobinDemux::new(n, k)),
+        "random" => Algo::Random(RandomDemux::new(
+            n,
+            param.map_or(Ok(0), str::parse).map_err(|e| format!("random seed: {e}"))?,
+        )),
+        "partition" => Algo::Partition(StaticPartitionDemux::minimal(n, k, r_prime)),
+        "ftd" => Algo::Ftd(FtdDemux::new(
+            n,
+            k,
+            r_prime,
+            param.map_or(Ok(2), str::parse).map_err(|e| format!("ftd h: {e}"))?,
+        )),
+        "stale" => Algo::Stale(StaleLeastLoadedDemux::new(
+            n,
+            k,
+            param
+                .ok_or("stale needs :u")?
+                .parse()
+                .map_err(|e| format!("stale u: {e}"))?,
+        )),
+        "lll" => Algo::Lll(LeastLoadedLocalDemux::new(n, k, r_prime)),
+        "hash" => Algo::Hash(HashFlowDemux::new(n, k)),
+        "cpa" => Algo::Cpa(CpaDemux::new(n, k, r_prime)),
+        other => return Err(format!("unknown algorithm {other}")),
+    })
+}
+
+fn build_workload(
+    spec: &str,
+    args: &CustomArgs,
+    algo: &Algo,
+    cfg: &PpsConfig,
+) -> Result<Trace, String> {
+    let (name, param) = split_param(spec);
+    let n = args.n;
+    let inputs: Vec<u32> = (0..n as u32).collect();
+    Ok(match name {
+        "attack" => {
+            let max = 8 * args.k;
+            match algo {
+                Algo::Rr(d) => concentration_attack(d, cfg, &inputs, max).trace,
+                Algo::Pfr(d) => concentration_attack(d, cfg, &inputs, max).trace,
+                Algo::Random(d) => concentration_attack(d, cfg, &inputs, 4 * max).trace,
+                Algo::Partition(d) => concentration_attack(d, cfg, &inputs, max).trace,
+                Algo::Ftd(d) => concentration_attack(d, cfg, &inputs, max).trace,
+                Algo::Lll(d) => concentration_attack(d, cfg, &inputs, max).trace,
+                Algo::Hash(d) => concentration_attack(d, cfg, &inputs, max).trace,
+                Algo::Stale(_) | Algo::Cpa(_) => {
+                    return Err(
+                        "attack targets fully-distributed algorithms; use urt for stale".into(),
+                    )
+                }
+            }
+        }
+        "urt" => urt_burst_attack(cfg, param.map_or(Ok(1), str::parse).map_err(|e| format!("urt u: {e}"))?).trace,
+        "bernoulli" => BernoulliGen::uniform(
+            param.map_or(Ok(0.9), str::parse).map_err(|e| format!("bernoulli load: {e}"))?,
+            42,
+        )
+        .trace(n, args.slots),
+        "onoff" => OnOffGen::uniform(
+            12.0,
+            param.map_or(Ok(0.7), str::parse).map_err(|e| format!("onoff load: {e}"))?,
+            42,
+        )
+        .trace(n, args.slots),
+        "cbr" => CbrGen::diagonal(
+            param.map_or(Ok(2), str::parse).map_err(|e| format!("cbr period: {e}"))?,
+        )
+        .trace(n, args.slots),
+        "congestion" => congestion_traffic(
+            n,
+            0,
+            param.map_or(Ok(2), str::parse).map_err(|e| format!("congestion senders: {e}"))?,
+            args.slots,
+        )
+        .trace,
+        other => return Err(format!("unknown workload {other}")),
+    })
+}
+
+fn compare(cfg: PpsConfig, algo: Algo, trace: &Trace) -> Result<Comparison, String> {
+    let run = |c: Result<Comparison, ModelError>| c.map_err(|e| e.to_string());
+    match algo {
+        Algo::Rr(d) => run(compare_bufferless(cfg, d, trace)),
+        Algo::Pfr(d) => run(compare_bufferless(cfg, d, trace)),
+        Algo::Random(d) => run(compare_bufferless(cfg, d, trace)),
+        Algo::Partition(d) => run(compare_bufferless(cfg, d, trace)),
+        Algo::Ftd(d) => run(compare_bufferless(cfg, d, trace)),
+        Algo::Stale(d) => run(compare_bufferless(cfg, d, trace)),
+        Algo::Lll(d) => run(compare_bufferless(cfg, d, trace)),
+        Algo::Hash(d) => run(compare_bufferless(cfg, d, trace)),
+        Algo::Cpa(d) => run(compare_bufferless(
+            cfg.with_discipline(OutputDiscipline::GlobalFcfs),
+            d,
+            trace,
+        )),
+    }
+}
+
+/// Execute a custom run; returns the printable report.
+pub fn run_custom(raw_args: &[String]) -> Result<String, String> {
+    let args = parse_args(raw_args)?;
+    let cfg = PpsConfig::bufferless(args.n, args.k, args.r_prime);
+    cfg.validate().map_err(|e| e.to_string())?;
+    let algo = build_algo(&args.algo, args.n, args.k, args.r_prime)?;
+    let trace = build_workload(&args.workload, &args, &algo, &cfg)?;
+    if let Some(path) = &args.save_trace {
+        pps_core::trace_io::save(&trace, std::path::Path::new(path))
+            .map_err(|e| format!("saving trace: {e}"))?;
+    }
+    let b = min_burstiness(&trace, args.n).overall();
+    let cmp = compare(cfg, build_algo(&args.algo, args.n, args.k, args.r_prime)?, &trace)?;
+    let _ = algo;
+    let rd = cmp.relative_delay();
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "{}", pps_core::topology::describe(&cfg));
+    let _ = writeln!(out, "algorithm            : {}", args.algo);
+    let _ = writeln!(out, "workload             : {} ({} cells, B_min = {b})", args.workload, trace.len());
+    let _ = writeln!(out, "traffic              : {}", TraceStats::of(&trace, args.n).summary());
+    let _ = writeln!(out, "relative delay (max) : {}", rd.max);
+    let _ = writeln!(out, "relative delay (mean): {:.3}", rd.mean);
+    let _ = writeln!(out, "relative jitter      : {}", cmp.relative_jitter());
+    let _ = writeln!(out, "undelivered          : {}", rd.pps_undelivered);
+    let _ = writeln!(out, "max concentration    : {}", cmp.max_concentration());
+    let _ = writeln!(out, "plane buffer HWM     : {}", cmp.pps_stats().max_plane_queue);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn default_custom_run_works() {
+        let out = run_custom(&strs(&["--slots", "300"])).unwrap();
+        assert!(out.contains("relative delay (max)"), "{out}");
+    }
+
+    #[test]
+    fn attack_workload_matches_library_numbers() {
+        let out = run_custom(&strs(&[
+            "--n", "16", "--k", "8", "--rprime", "4", "--algo", "rr", "--workload", "attack",
+        ]))
+        .unwrap();
+        // (r'-1)(N-1) = 45.
+        assert!(out.contains("relative delay (max) : 45"), "{out}");
+        assert!(out.contains("B_min = 0"), "{out}");
+    }
+
+    #[test]
+    fn every_algorithm_spec_parses_and_runs() {
+        for algo in ["rr", "pfr", "random:7", "partition", "ftd:2", "stale:2", "lll", "hash", "cpa"] {
+            let out = run_custom(&strs(&[
+                "--n", "8", "--k", "8", "--rprime", "2", "--algo", algo, "--workload",
+                "bernoulli:0.8", "--slots", "200",
+            ]))
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert!(out.contains("undelivered          : 0"), "{algo}: {out}");
+        }
+    }
+
+    #[test]
+    fn bad_flags_are_reported() {
+        assert!(run_custom(&strs(&["--bogus", "1"])).is_err());
+        assert!(run_custom(&strs(&["--algo", "quantum"])).is_err());
+        assert!(run_custom(&strs(&["--algo", "cpa", "--workload", "attack"])).is_err());
+    }
+
+    #[test]
+    fn save_trace_round_trips() {
+        let dir = std::env::temp_dir().join("ppslab_custom_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        run_custom(&strs(&[
+            "--n", "8", "--k", "8", "--rprime", "2", "--workload", "cbr:2", "--slots", "50",
+            "--save-trace", path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let loaded = pps_core::trace_io::load(&path, 8).unwrap();
+        assert!(!loaded.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+}

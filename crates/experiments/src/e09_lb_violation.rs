@@ -1,0 +1,58 @@
+//! E9 — Proposition 15: any traffic that sustains congestion (the premise
+//! of Theorem 14) is **not** `(R, B)` leaky-bucket for any `B` independent
+//! of the congestion duration.
+//!
+//! Measured: the exact minimal burstiness of the E8 congestion traffic as
+//! a function of its duration — it grows linearly, `B_min = (rate − 1)·T`,
+//! so no fixed `B` covers all durations. This is why Theorem 14 does not
+//! contradict Theorem 8.
+
+use crate::ExperimentOutput;
+use pps_analysis::Table;
+use pps_traffic::adversary::congestion_traffic;
+use pps_traffic::min_burstiness;
+
+/// Run the duration sweep.
+pub fn run() -> ExperimentOutput {
+    let n = 16;
+    let mut table = Table::new(
+        "Proposition 15: minimal burstiness of congestion traffic vs duration (2 cells/slot)",
+        &["duration T", "predicted B = (rate-1)*T", "measured B_min", "B_min / T"],
+    );
+    let mut pass = true;
+    let mut prev_b = 0u64;
+    for duration in [50u64, 100, 200, 400, 800] {
+        let c = congestion_traffic(n, 0, 2, duration);
+        let b = min_burstiness(&c.trace, n).overall();
+        pass &= b == c.expected_burstiness && b > prev_b;
+        prev_b = b;
+        table.row_display(&[
+            duration.to_string(),
+            c.expected_burstiness.to_string(),
+            b.to_string(),
+            format!("{:.2}", b as f64 / duration as f64),
+        ]);
+    }
+    ExperimentOutput {
+        id: "e9",
+        title: "Proposition 15 — congestion traffic violates every fixed leaky-bucket bound"
+            .into(),
+        tables: vec![table],
+        notes: vec![
+            "B_min/T converges to rate-1: burstiness is proportional to the congested \
+             period's length, hence unbounded for sustained congestion"
+                .into(),
+        ],
+        pass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_run_passes() {
+        assert!(run().pass);
+    }
+}

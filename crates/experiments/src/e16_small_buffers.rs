@@ -1,0 +1,140 @@
+//! E16 — Section 4's small-buffer regime: *"it can be shown that a
+//! globally FCFS input-buffered PPS [with buffers smaller than u] has
+//! relative queuing delay of (1 − r/R)·N/S time-slots"*, i.e. buffers
+//! below the information delay do not rescue a `u`-RT algorithm.
+//!
+//! The sweep makes the mechanism visible: a buffered stale-least-loaded
+//! demultiplexor holds every cell `hold ≤ u` slots before dispatching.
+//! Holding delays the *decision* as much as the *information*, so the
+//! blind spot never closes — the Theorem 10 burst concentrates identically
+//! at every `hold`, and the relative delay even *grows* by the holding
+//! time itself. What actually dissolves the bound at buffer `u` is not
+//! waiting but *coordination*: Theorem 12's delayed CPA uses the wait to
+//! acquire the exact global arrival order (legally, since by then it is
+//! `u` slots old) and assigns conflict-free deadlines — final row of the
+//! table.
+
+use crate::ExperimentOutput;
+use pps_analysis::{compare_buffered, compare_bufferless, Table};
+use pps_core::prelude::*;
+use pps_switch::demux::buffered::BufferedStaleDemux;
+use pps_switch::demux::{DelayedCpaDemux, StaleLeastLoadedDemux};
+use pps_traffic::adversary::urt_burst_attack;
+
+/// One sweep point: max relative delay of the buffered stale demux at
+/// `hold` against the Theorem 10 burst.
+pub fn stale_point(n: usize, k: usize, r_prime: usize, u: Slot, hold: Slot) -> i64 {
+    let atk = urt_burst_attack(&PpsConfig::bufferless(n, k, r_prime), u);
+    if hold == 0 {
+        // Degenerate: the bufferless dispatcher.
+        let cfg = PpsConfig::bufferless(n, k, r_prime);
+        let cmp =
+            compare_bufferless(cfg, StaleLeastLoadedDemux::new(n, k, u), &atk.trace).expect("run");
+        assert_eq!(cmp.relative_delay().pps_undelivered, 0);
+        cmp.relative_delay().max
+    } else {
+        let cfg = PpsConfig::buffered(n, k, r_prime, (hold as usize) + 1);
+        let cmp = compare_buffered(cfg, BufferedStaleDemux::new(n, k, u, hold), &atk.trace)
+            .expect("run");
+        assert_eq!(cmp.relative_delay().pps_undelivered, 0);
+        cmp.relative_delay().max
+    }
+}
+
+/// The Theorem 12 endpoint: delayed CPA with buffer = u on the same burst.
+pub fn cpa_point(n: usize, k: usize, r_prime: usize, u: Slot) -> i64 {
+    let atk = urt_burst_attack(&PpsConfig::bufferless(n, k, r_prime), u);
+    let cfg =
+        PpsConfig::buffered(n, k, r_prime, u as usize).with_discipline(OutputDiscipline::GlobalFcfs);
+    let cmp = compare_buffered(cfg, DelayedCpaDemux::new(n, k, r_prime, u), &atk.trace)
+        .expect("run");
+    assert_eq!(cmp.relative_delay().pps_undelivered, 0);
+    cmp.relative_delay().max
+}
+
+/// Run the default sweep.
+pub fn run() -> ExperimentOutput {
+    let (n, k, r_prime, u) = (32, 8, 8, 4u64); // S = 1 for the stale family
+    let atk = urt_burst_attack(&PpsConfig::bufferless(n, k, r_prime), u);
+    let mut table = Table::new(
+        format!(
+            "Small buffers vs the Theorem 10 burst at N={n}, K={k}, r'={r_prime}, u={u} \
+             (u-RT bound: {} slots)",
+            atk.model_exact_bound
+        ),
+        &["algorithm", "hold/buffer", "measured rel delay", "bound status"],
+    );
+    let mut pass = true;
+    let mut stale_delays = Vec::new();
+    for hold in 0..=u {
+        let d = stale_point(n, k, r_prime, u, hold);
+        let holds = d as u64 >= atk.model_exact_bound;
+        pass &= holds;
+        stale_delays.push(d);
+        table.row_display(&[
+            "buffered-stale-LL".into(),
+            hold.to_string(),
+            d.to_string(),
+            if holds { "bound persists" } else { "BROKEN" }.to_string(),
+        ]);
+    }
+    // Holding cannot shrink the concentration delay (it adds its own).
+    pass &= stale_delays.windows(2).all(|w| w[1] >= w[0]);
+    // The CPA endpoint needs S >= 2: use K = 2r' for it.
+    let k_cpa = 2 * r_prime;
+    let d_cpa = cpa_point(n, k_cpa, r_prime, u);
+    let ok = d_cpa <= u as i64;
+    pass &= ok;
+    table.row_display(&[
+        format!("delayed-CPA (K={k_cpa}, S=2)"),
+        format!("{u}"),
+        d_cpa.to_string(),
+        if ok { "<= u (Thm 12)".into() } else { "VIOLATED".to_string() },
+    ]);
+    ExperimentOutput {
+        id: "e16",
+        title: "Section 4 — buffers below the information delay do not help; coordination does"
+            .into(),
+        tables: vec![table],
+        notes: vec![
+            "holding cells delays the decisions exactly as much as the information, \
+             so the blind spot never closes for a least-loaded dispatcher — the \
+             measured delay is flat-to-growing in the hold time"
+                .into(),
+            "Theorem 12's delayed CPA turns the same buffer into exact (u-old) \
+             knowledge of the global arrival order and collapses the delay to <= u"
+                .into(),
+        ],
+        pass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holding_does_not_break_the_bound() {
+        let (n, k, r_prime, u) = (32, 8, 8, 2u64);
+        let atk = urt_burst_attack(&PpsConfig::bufferless(n, k, r_prime), u);
+        for hold in [0u64, 1, 2] {
+            let d = stale_point(n, k, r_prime, u, hold);
+            assert!(
+                d as u64 >= atk.model_exact_bound,
+                "hold={hold}: {d} < {}",
+                atk.model_exact_bound
+            );
+        }
+    }
+
+    #[test]
+    fn coordination_at_buffer_u_collapses_the_delay() {
+        let d = cpa_point(16, 8, 4, 3);
+        assert!(d <= 3, "delayed CPA must stay within u: {d}");
+    }
+
+    #[test]
+    fn full_run_passes() {
+        assert!(run().pass);
+    }
+}

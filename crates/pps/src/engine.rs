@@ -1,0 +1,393 @@
+//! The PPS engines.
+//!
+//! [`BufferlessPps`] implements the base architecture (Definition 1: an
+//! arriving cell is demultiplexed to a plane in its arrival slot);
+//! [`BufferedPps`] implements the input-buffered variant of Iyer & McKeown
+//! (Definition 2: the demultiplexor may hold arriving cells in a finite
+//! input buffer and release any number of buffered cells per slot, subject
+//! to the line-rate constraints).
+//!
+//! Both engines enforce the formal model: per-slot arrival/departure
+//! cardinality, the input and output constraints, no cell drops (outside
+//! fault-injection), and the information classification — a
+//! fully-distributed demultiplexor is handed *no* global view, a `u`-RT one
+//! only the snapshot from `u` slots ago, a centralized one the current
+//! state.
+
+use crate::fabric::{Fabric, FabricStats};
+use pps_core::prelude::*;
+
+/// Outcome of a complete PPS run.
+#[derive(Clone, Debug)]
+pub struct PpsRun {
+    /// Per-cell record (join against the shadow switch's log by cell id).
+    pub log: RunLog,
+    /// Fabric statistics.
+    pub stats: FabricStats,
+    /// Slot after the last processed slot (the run's horizon).
+    pub end_slot: Slot,
+}
+
+/// Shared slot-stepping logic: snapshot bus management.
+#[derive(Clone, Debug)]
+struct InfoBus {
+    ring: Option<SnapshotRing>,
+    centralized: bool,
+    /// Scratch current snapshot for the centralized class.
+    current: Option<GlobalSnapshot>,
+}
+
+impl InfoBus {
+    fn new(class: InfoClass) -> Self {
+        match class {
+            InfoClass::FullyDistributed => InfoBus {
+                ring: None,
+                centralized: false,
+                current: None,
+            },
+            InfoClass::RealTimeDistributed { u } => InfoBus {
+                ring: Some(SnapshotRing::new(u.max(1))),
+                centralized: false,
+                current: None,
+            },
+            InfoClass::Centralized => InfoBus {
+                ring: None,
+                centralized: true,
+                current: None,
+            },
+        }
+    }
+
+    /// Prepare the view for slot `now`. For the centralized class this is
+    /// the state at the start of the slot; for `u`-RT the end-of-slot state
+    /// of slot `now − u` (or nothing while `now < u`).
+    fn begin_slot(&mut self, now: Slot, fabric: &Fabric, buffers: &[u32]) {
+        if self.centralized {
+            self.current = Some(fabric.snapshot(now, buffers));
+        }
+        let _ = now;
+    }
+
+    fn view(&self, now: Slot) -> Option<&GlobalSnapshot> {
+        if self.centralized {
+            self.current.as_ref()
+        } else {
+            self.ring.as_ref().and_then(|r| r.view(now))
+        }
+    }
+
+    /// Record the end-of-slot state, stamped with the slot it covers: the
+    /// snapshot tagged `t` reflects all events through slot `t`, so a
+    /// `u`-RT demultiplexor deciding at `t` sees exactly the paper's
+    /// `[0, t − u]` information window.
+    fn end_slot(&mut self, now: Slot, fabric: &Fabric, buffers: &[u32]) {
+        if let Some(ring) = &mut self.ring {
+            ring.push(fabric.snapshot(now, buffers));
+        }
+    }
+}
+
+const NO_BUFFERS: [u32; 0] = [];
+
+/// A bufferless PPS driven by a [`Demultiplexor`].
+pub struct BufferlessPps<D: Demultiplexor> {
+    fabric: Fabric,
+    demux: D,
+    bus: InfoBus,
+}
+
+impl<D: Demultiplexor> BufferlessPps<D> {
+    /// Build the switch; validates the configuration (which must be
+    /// bufferless).
+    pub fn new(cfg: PpsConfig, demux: D) -> Result<Self, ModelError> {
+        cfg.validate()?;
+        if !matches!(cfg.buffer, BufferSpec::Bufferless) {
+            return Err(ModelError::InvalidConfig {
+                reason: "BufferlessPps requires BufferSpec::Bufferless".into(),
+            });
+        }
+        let bus = InfoBus::new(demux.info_class());
+        Ok(BufferlessPps {
+            fabric: Fabric::new(cfg),
+            demux,
+            bus,
+        })
+    }
+
+    /// The demultiplexor (e.g. to read algorithm-specific statistics).
+    pub fn demux(&self) -> &D {
+        &self.demux
+    }
+
+    /// The fabric (for congestion probes and statistics mid-run).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Fault-injection: fail plane `plane` from now on.
+    pub fn fail_plane(&mut self, plane: usize) {
+        self.fabric.fail_plane(plane);
+    }
+
+    /// Advance one slot: dispatch this slot's arrivals, serve the planes,
+    /// emit at the outputs.
+    pub fn slot(
+        &mut self,
+        now: Slot,
+        arrivals: &[Cell],
+        log: &mut RunLog,
+    ) -> Result<(), ModelError> {
+        self.bus.begin_slot(now, &self.fabric, &NO_BUFFERS);
+        self.demux.on_slot(now, self.bus.view(now));
+        for cell in arrivals {
+            debug_assert_eq!(cell.arrival, now);
+            self.fabric.register_arrival(cell);
+            let plane = {
+                let ctx = DispatchCtx {
+                    local: self.fabric.local_view(cell.input, now),
+                    global: self.bus.view(now),
+                };
+                self.demux.dispatch(cell, &ctx)
+            };
+            self.fabric.dispatch(*cell, plane, now, log)?;
+        }
+        self.fabric.service(now)?;
+        self.fabric.emit(now, log);
+        self.bus.end_slot(now, &self.fabric, &NO_BUFFERS);
+        Ok(())
+    }
+
+    /// Cells still inside the switch.
+    pub fn backlog(&self) -> usize {
+        self.fabric.backlog()
+    }
+
+    /// Run a whole trace to completion (arrivals plus drain).
+    pub fn run(&mut self, trace: &Trace) -> Result<PpsRun, ModelError> {
+        let cells = trace.cells(self.fabric.cfg().n);
+        let mut log = RunLog::with_cells(&cells);
+        let mut next = 0usize;
+        let mut now: Slot = 0;
+        let cap = drain_cap(trace, self.fabric.cfg());
+        let mut scratch: Vec<Cell> = Vec::new();
+        while next < cells.len() || self.backlog() > 0 {
+            scratch.clear();
+            while next < cells.len() && cells[next].arrival == now {
+                scratch.push(cells[next]);
+                next += 1;
+            }
+            self.slot(now, &scratch, &mut log)?;
+            now += 1;
+            if now > cap {
+                break; // livelock guard; remaining cells stay undelivered
+            }
+        }
+        Ok(PpsRun {
+            log,
+            stats: self.fabric.stats(),
+            end_slot: now,
+        })
+    }
+}
+
+/// An input-buffered PPS driven by a [`BufferedDemultiplexor`].
+pub struct BufferedPps<D: BufferedDemultiplexor> {
+    fabric: Fabric,
+    demux: D,
+    bus: InfoBus,
+    buffers: Vec<std::collections::VecDeque<Cell>>,
+    buffer_live: Vec<u32>,
+    capacity: usize,
+    max_buffer_occupancy: usize,
+}
+
+impl<D: BufferedDemultiplexor> BufferedPps<D> {
+    /// Build the switch; the configuration must specify input buffers.
+    pub fn new(cfg: PpsConfig, demux: D) -> Result<Self, ModelError> {
+        cfg.validate()?;
+        let capacity = match cfg.buffer {
+            BufferSpec::Buffered { size } => size,
+            BufferSpec::Bufferless => {
+                return Err(ModelError::InvalidConfig {
+                    reason: "BufferedPps requires BufferSpec::Buffered".into(),
+                })
+            }
+        };
+        let bus = InfoBus::new(demux.info_class());
+        Ok(BufferedPps {
+            fabric: Fabric::new(cfg),
+            demux,
+            bus,
+            buffers: (0..cfg.n).map(|_| std::collections::VecDeque::new()).collect(),
+            buffer_live: vec![0; cfg.n],
+            capacity,
+            max_buffer_occupancy: 0,
+        })
+    }
+
+    /// The demultiplexor.
+    pub fn demux(&self) -> &D {
+        &self.demux
+    }
+
+    /// The fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Highest input-buffer occupancy reached.
+    pub fn max_buffer_occupancy(&self) -> usize {
+        self.max_buffer_occupancy
+    }
+
+    /// Advance one slot. `arrivals` must be sorted by input port (as
+    /// produced by [`Trace::cells`]); the demultiplexor is consulted per
+    /// input in port order, matching the global-FCFS tie-break.
+    pub fn slot(
+        &mut self,
+        now: Slot,
+        arrivals: &[Cell],
+        log: &mut RunLog,
+    ) -> Result<(), ModelError> {
+        self.bus.begin_slot(now, &self.fabric, &self.buffer_live);
+        let mut arr_iter = arrivals.iter().peekable();
+        for input in 0..self.fabric.cfg().n {
+            let arrival = arr_iter
+                .next_if(|c| c.input.idx() == input)
+                .copied();
+            if arrival.is_none() && self.buffers[input].is_empty() {
+                continue;
+            }
+            if let Some(c) = arrival {
+                debug_assert_eq!(c.arrival, now);
+                self.fabric.register_arrival(&c);
+            }
+            let decision = {
+                let buf = self.buffers[input].make_contiguous();
+                let ctx = DispatchCtx {
+                    local: self.fabric.local_view(PortId(input as u32), now),
+                    global: self.bus.view(now),
+                };
+                self.demux
+                    .slot_decision(PortId(input as u32), arrival.as_ref(), buf, &ctx)
+            };
+            self.apply_decision(input, now, arrival, decision, log)?;
+        }
+        self.fabric.service(now)?;
+        self.fabric.emit(now, log);
+        self.bus.end_slot(now, &self.fabric, &self.buffer_live);
+        Ok(())
+    }
+
+    fn apply_decision(
+        &mut self,
+        input: usize,
+        now: Slot,
+        arrival: Option<Cell>,
+        decision: BufferedDecision,
+        log: &mut RunLog,
+    ) -> Result<(), ModelError> {
+        // Validate and perform releases, highest index first so earlier
+        // indices stay valid during removal.
+        let mut releases = decision.releases;
+        releases.sort_by_key(|r| std::cmp::Reverse(r.0));
+        for w in releases.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(ModelError::BadBufferIndex {
+                    input: PortId(input as u32),
+                    index: w[0].0,
+                });
+            }
+        }
+        for (idx, plane) in releases {
+            let cell = self.buffers[input].remove(idx).ok_or(ModelError::BadBufferIndex {
+                input: PortId(input as u32),
+                index: idx,
+            })?;
+            self.buffer_live[input] -= 1;
+            self.fabric.dispatch(cell, plane, now, log)?;
+        }
+        match (arrival, decision.arrival) {
+            (Some(cell), Some(ArrivalAction::Dispatch(plane))) => {
+                self.fabric.dispatch(cell, plane, now, log)?;
+            }
+            (Some(cell), Some(ArrivalAction::Enqueue)) | (Some(cell), None) => {
+                // A missing action defaults to buffering: the model forbids
+                // dropping, so the engine never discards an arrival.
+                if self.buffers[input].len() >= self.capacity {
+                    return Err(ModelError::BufferOverflow {
+                        input: PortId(input as u32),
+                        capacity: self.capacity,
+                        cell: cell.id,
+                    });
+                }
+                self.buffers[input].push_back(cell);
+                self.buffer_live[input] += 1;
+                self.max_buffer_occupancy =
+                    self.max_buffer_occupancy.max(self.buffers[input].len());
+            }
+            (None, _) => {}
+        }
+        Ok(())
+    }
+
+    /// Cells still inside the switch (buffers + fabric).
+    pub fn backlog(&self) -> usize {
+        self.fabric.backlog() + self.buffer_live.iter().map(|&b| b as usize).sum::<usize>()
+    }
+
+    /// Run a whole trace to completion (arrivals plus drain).
+    pub fn run(&mut self, trace: &Trace) -> Result<PpsRun, ModelError> {
+        let cells = trace.cells(self.fabric.cfg().n);
+        let mut log = RunLog::with_cells(&cells);
+        let mut next = 0usize;
+        let mut now: Slot = 0;
+        let cap = drain_cap(trace, self.fabric.cfg());
+        let mut scratch: Vec<Cell> = Vec::new();
+        while next < cells.len() || self.backlog() > 0 {
+            scratch.clear();
+            while next < cells.len() && cells[next].arrival == now {
+                scratch.push(cells[next]);
+                next += 1;
+            }
+            self.slot(now, &scratch, &mut log)?;
+            now += 1;
+            if now > cap {
+                break;
+            }
+        }
+        Ok(PpsRun {
+            log,
+            stats: self.fabric.stats(),
+            end_slot: now,
+        })
+    }
+}
+
+/// Generous upper bound on how long draining a trace can take: every cell
+/// serialized through one line plus slack. Runs hitting the cap report the
+/// leftovers as undelivered instead of spinning forever.
+fn drain_cap(trace: &Trace, cfg: &PpsConfig) -> Slot {
+    trace.horizon()
+        + (trace.len() as Slot + 1) * (cfg.r_prime as Slot + 1)
+        + cfg.buffer.capacity() as Slot
+        + 64
+}
+
+/// Convenience: run `trace` through a fresh bufferless PPS.
+pub fn run_bufferless<D: Demultiplexor>(
+    cfg: PpsConfig,
+    demux: D,
+    trace: &Trace,
+) -> Result<PpsRun, ModelError> {
+    BufferlessPps::new(cfg, demux)?.run(trace)
+}
+
+/// Convenience: run `trace` through a fresh input-buffered PPS.
+pub fn run_buffered<D: BufferedDemultiplexor>(
+    cfg: PpsConfig,
+    demux: D,
+    trace: &Trace,
+) -> Result<PpsRun, ModelError> {
+    BufferedPps::new(cfg, demux)?.run(trace)
+}

@@ -1,0 +1,350 @@
+//! The switching fabric shared by the bufferless and input-buffered engines:
+//! input→plane lines, the `K` planes, plane→output lines, and the output
+//! multiplexors, advanced with an event agenda so per-slot cost scales with
+//! *activity*, not with `K × N`.
+
+use crate::output::OutputMux;
+use crate::plane::Plane;
+use pps_core::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Aggregate fabric statistics for one run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FabricStats {
+    /// Cells carried per plane — the concentration profile (Lemma 4's `c`
+    /// is the maximum entry restricted to one output).
+    pub plane_carried: Vec<u64>,
+    /// Highest per-destination queue occupancy in any plane.
+    pub max_plane_queue: usize,
+    /// Highest occupancy of any output multiplexor.
+    pub max_output_held: usize,
+    /// Cells lost to failed planes (fault-injection runs only).
+    pub dropped: u64,
+    /// Total transmissions on input→plane lines.
+    pub input_line_uses: u64,
+    /// Total transmissions on plane→output lines.
+    pub output_line_uses: u64,
+}
+
+/// The three-stage fabric.
+#[derive(Clone, Debug)]
+pub struct Fabric {
+    cfg: PpsConfig,
+    in_links: LinkBank,
+    out_links: LinkBank,
+    planes: Vec<Plane>,
+    outputs: Vec<OutputMux>,
+    /// Pending plane-service events: `(slot, plane, output)`.
+    agenda: BinaryHeap<Reverse<(Slot, u32, u32)>>,
+    /// Whether `(plane, output)` currently has an agenda entry.
+    scheduled: Vec<bool>,
+    /// Outputs that may be able to emit (dense list + membership flags:
+    /// the emit sweep compacts the list in place, no per-slot allocation).
+    active_list: Vec<u32>,
+    active_flag: Vec<bool>,
+    /// Live per-(plane,output) queue lengths for snapshots.
+    plane_len_live: Vec<u32>,
+    /// Live per-output mux occupancy for snapshots.
+    output_pending_live: Vec<u32>,
+    dropped: u64,
+}
+
+impl Fabric {
+    /// Build an idle fabric for `cfg` (assumed validated).
+    pub fn new(cfg: PpsConfig) -> Self {
+        let (n, k) = (cfg.n, cfg.k);
+        Fabric {
+            cfg,
+            in_links: LinkBank::new(n, k, cfg.r_prime, LinkSide::InputToPlane),
+            out_links: LinkBank::new(k, n, cfg.r_prime, LinkSide::PlaneToOutput),
+            planes: (0..k).map(|_| Plane::new(n)).collect(),
+            outputs: (0..n).map(|_| OutputMux::new(n, cfg.discipline)).collect(),
+            agenda: BinaryHeap::new(),
+            scheduled: vec![false; k * n],
+            active_list: Vec::with_capacity(n),
+            active_flag: vec![false; n],
+            plane_len_live: vec![0; k * n],
+            output_pending_live: vec![0; n],
+            dropped: 0,
+        }
+    }
+
+    /// The switch configuration.
+    pub fn cfg(&self) -> &PpsConfig {
+        &self.cfg
+    }
+
+    /// This input's local view of its lines (the *only* information a
+    /// fully-distributed demultiplexor is entitled to).
+    pub fn local_view(&self, input: PortId, now: Slot) -> LocalView<'_> {
+        LocalView {
+            now,
+            input,
+            link_busy_until: self.in_links.row(input.idx()),
+        }
+    }
+
+    /// Register a cell as inside the switch, bound for its output (needed
+    /// by the GlobalFcfs discipline to detect stragglers). Engines call
+    /// this at *switch arrival* so buffered cells count too.
+    pub fn register_arrival(&mut self, cell: &Cell) {
+        self.outputs[cell.output.idx()].register_in_flight(cell.id);
+    }
+
+    /// Dispatch `cell` onto plane `plane` at `now`, acquiring the input
+    /// line. Fails if the line is busy or the plane index is out of range —
+    /// both are demultiplexor bugs under the model.
+    pub fn dispatch(
+        &mut self,
+        cell: Cell,
+        plane: PlaneId,
+        now: Slot,
+        log: &mut RunLog,
+    ) -> Result<(), ModelError> {
+        let (i, p, j) = (cell.input.idx(), plane.idx(), cell.output.idx());
+        if p >= self.cfg.k {
+            return Err(ModelError::PlaneOutOfRange {
+                plane,
+                k: self.cfg.k,
+            });
+        }
+        self.in_links.acquire(i, p, now)?;
+        log.set_plane(cell.id, plane);
+        if self.planes[p].accept(cell) {
+            self.plane_len_live[p * self.cfg.n + j] += 1;
+            // The queue may have become serviceable.
+            let at = now.max(self.out_links.free_at(p, j));
+            self.schedule(p, j, at);
+        } else {
+            // Failed plane: the cell is lost. Un-register it so GlobalFcfs
+            // does not wait forever.
+            self.dropped += 1;
+            if self.cfg.discipline == OutputDiscipline::GlobalFcfs {
+                self.outputs[j].unregister_in_flight(cell.id);
+            }
+        }
+        Ok(())
+    }
+
+    fn schedule(&mut self, plane: usize, output: usize, at: Slot) {
+        let idx = plane * self.cfg.n + output;
+        if !self.scheduled[idx] {
+            self.scheduled[idx] = true;
+            self.agenda
+                .push(Reverse((at, plane as u32, output as u32)));
+        }
+    }
+
+    /// Serve every `(plane, output)` line whose service event is due:
+    /// deliver the head cell to the output multiplexor and re-arm the line
+    /// after `r'` slots.
+    pub fn service(&mut self, now: Slot) -> Result<(), ModelError> {
+        while let Some(&Reverse((at, p, j))) = self.agenda.peek() {
+            if at > now {
+                break;
+            }
+            self.agenda.pop();
+            let (p, j) = (p as usize, j as usize);
+            self.scheduled[p * self.cfg.n + j] = false;
+            if self.planes[p].queue_len(j) == 0 {
+                continue; // drained in the meantime; re-armed on next push
+            }
+            if !self.out_links.is_free(p, j, now) {
+                // Defensive: re-arm at the line's free time.
+                let at = self.out_links.free_at(p, j);
+                self.schedule(p, j, at);
+                continue;
+            }
+            let cell = self.planes[p].pop_for(j).expect("non-empty checked");
+            self.out_links.acquire(p, j, now)?;
+            self.plane_len_live[p * self.cfg.n + j] -= 1;
+            self.output_pending_live[j] += 1;
+            self.outputs[j].deliver(cell);
+            if !self.active_flag[j] {
+                self.active_flag[j] = true;
+                self.active_list.push(j as u32);
+            }
+            if self.planes[p].queue_len(j) > 0 {
+                self.schedule(p, j, now + self.cfg.r_prime as Slot);
+            }
+        }
+        Ok(())
+    }
+
+    /// Let every output with work emit at most one cell; record departures.
+    pub fn emit(&mut self, now: Slot, log: &mut RunLog) {
+        let mut write = 0usize;
+        for read in 0..self.active_list.len() {
+            let j = self.active_list[read];
+            let mux = &mut self.outputs[j as usize];
+            if let Some(cell) = mux.emit() {
+                self.output_pending_live[j as usize] -= 1;
+                log.set_departure(cell.id, now);
+            }
+            if mux.has_work() {
+                self.active_list[write] = j;
+                write += 1;
+            } else {
+                self.active_flag[j as usize] = false;
+            }
+        }
+        self.active_list.truncate(write);
+    }
+
+    /// Total cells inside the fabric (plane queues + output muxes).
+    pub fn backlog(&self) -> usize {
+        self.planes.iter().map(|p| p.backlog()).sum::<usize>()
+            + self
+                .outputs
+                .iter()
+                .map(|o| o.held())
+                .sum::<usize>()
+    }
+
+    /// Whether every plane buffer for `output` is currently non-empty — the
+    /// paper's *congestion* predicate (Section 5) at one instant.
+    pub fn all_planes_backlogged_for(&self, output: usize) -> bool {
+        self.planes.iter().all(|p| p.queue_len(output) > 0)
+    }
+
+    /// Mark plane `plane` failed (fault-injection).
+    pub fn fail_plane(&mut self, plane: usize) {
+        self.planes[plane].fail();
+    }
+
+    /// Build the observable global snapshot at `taken_at`.
+    pub fn snapshot(&self, taken_at: Slot, input_buffer_len: &[u32]) -> GlobalSnapshot {
+        GlobalSnapshot {
+            taken_at,
+            k: self.cfg.k,
+            n: self.cfg.n,
+            plane_queue_len: self.plane_len_live.clone().into_boxed_slice(),
+            input_buffer_len: input_buffer_len.to_vec().into_boxed_slice(),
+            output_pending: self.output_pending_live.clone().into_boxed_slice(),
+        }
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> FabricStats {
+        FabricStats {
+            plane_carried: self.planes.iter().map(|p| p.carried()).collect(),
+            max_plane_queue: self
+                .planes
+                .iter()
+                .map(|p| p.max_queue_occupancy())
+                .max()
+                .unwrap_or(0),
+            max_output_held: self.outputs.iter().map(|o| o.max_held()).max().unwrap_or(0),
+            dropped: self.dropped,
+            input_line_uses: self.in_links.acquisitions(),
+            output_line_uses: self.out_links.acquisitions(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(id: u64, input: u32, output: u32, arrival: Slot) -> Cell {
+        Cell {
+            id: CellId(id),
+            input: PortId(input),
+            output: PortId(output),
+            seq: 0,
+            arrival,
+        }
+    }
+
+    fn setup(n: usize, k: usize, rp: usize) -> (Fabric, RunLog) {
+        let cfg = PpsConfig::bufferless(n, k, rp);
+        let fabric = Fabric::new(cfg);
+        let cells: Vec<Cell> = (0..16).map(|i| cell(i, 0, 0, 0)).collect();
+        let log = RunLog::with_cells(&cells);
+        (fabric, log)
+    }
+
+    #[test]
+    fn same_slot_passthrough() {
+        let (mut f, mut log) = setup(2, 2, 2);
+        f.dispatch(cell(0, 0, 0, 0), PlaneId(0), 0, &mut log).unwrap();
+        f.service(0).unwrap();
+        f.emit(0, &mut log);
+        assert_eq!(log.get(CellId(0)).departure, Some(0));
+        assert_eq!(log.get(CellId(0)).plane, Some(PlaneId(0)));
+        assert_eq!(f.backlog(), 0);
+    }
+
+    #[test]
+    fn plane_drains_one_cell_per_r_prime_slots() {
+        // Two cells to the same output through the same plane: second
+        // delivery waits r' slots — the concentration bottleneck of Lemma 4.
+        let (mut f, mut log) = setup(2, 2, 3);
+        f.dispatch(cell(0, 0, 0, 0), PlaneId(0), 0, &mut log).unwrap();
+        f.dispatch(cell(1, 1, 0, 0), PlaneId(0), 0, &mut log).unwrap();
+        for now in 0..=3 {
+            f.service(now).unwrap();
+            f.emit(now, &mut log);
+        }
+        assert_eq!(log.get(CellId(0)).departure, Some(0));
+        assert_eq!(log.get(CellId(1)).departure, Some(3));
+    }
+
+    #[test]
+    fn input_constraint_is_enforced() {
+        let (mut f, mut log) = setup(2, 2, 2);
+        f.dispatch(cell(0, 0, 0, 0), PlaneId(0), 0, &mut log).unwrap();
+        let err = f
+            .dispatch(cell(1, 0, 1, 1), PlaneId(0), 1, &mut log)
+            .unwrap_err();
+        assert!(matches!(err, ModelError::InputConstraintViolation { .. }));
+        // A different plane is fine.
+        f.dispatch(cell(2, 0, 1, 1), PlaneId(1), 1, &mut log).unwrap();
+    }
+
+    #[test]
+    fn plane_out_of_range_is_reported() {
+        let (mut f, mut log) = setup(2, 2, 2);
+        let err = f
+            .dispatch(cell(0, 0, 0, 0), PlaneId(5), 0, &mut log)
+            .unwrap_err();
+        assert!(matches!(err, ModelError::PlaneOutOfRange { k: 2, .. }));
+    }
+
+    #[test]
+    fn two_planes_drain_in_parallel() {
+        let (mut f, mut log) = setup(2, 2, 2);
+        f.dispatch(cell(0, 0, 0, 0), PlaneId(0), 0, &mut log).unwrap();
+        f.dispatch(cell(1, 1, 0, 0), PlaneId(1), 0, &mut log).unwrap();
+        f.service(0).unwrap();
+        f.emit(0, &mut log);
+        f.service(1).unwrap();
+        f.emit(1, &mut log);
+        // Both delivered in slot 0 (different planes), emitted 0 and 1.
+        assert_eq!(log.get(CellId(0)).departure, Some(0));
+        assert_eq!(log.get(CellId(1)).departure, Some(1));
+        assert_eq!(f.stats().max_output_held, 2);
+    }
+
+    #[test]
+    fn failed_plane_drops_and_counts() {
+        let (mut f, mut log) = setup(2, 2, 2);
+        f.fail_plane(1);
+        f.dispatch(cell(0, 0, 0, 0), PlaneId(1), 0, &mut log).unwrap();
+        f.service(0).unwrap();
+        f.emit(0, &mut log);
+        assert_eq!(log.get(CellId(0)).departure, None);
+        assert_eq!(f.stats().dropped, 1);
+        assert_eq!(f.backlog(), 0);
+    }
+
+    #[test]
+    fn congestion_predicate() {
+        let (mut f, mut log) = setup(2, 2, 2);
+        assert!(!f.all_planes_backlogged_for(0));
+        f.dispatch(cell(0, 0, 0, 0), PlaneId(0), 0, &mut log).unwrap();
+        f.dispatch(cell(1, 1, 0, 0), PlaneId(1), 0, &mut log).unwrap();
+        assert!(f.all_planes_backlogged_for(0));
+    }
+}

@@ -1,0 +1,257 @@
+//! Output multiplexors.
+//!
+//! The third stage of the PPS: each output port gathers cells delivered by
+//! up to `K` planes and emits at most one cell per slot on the external
+//! line. Because a flow's cells may ride different planes with different
+//! queuing, the multiplexor is where order is re-established. Three
+//! emission disciplines are supported (see
+//! [`pps_core::OutputDiscipline`]): flow-FIFO resequencing (default),
+//! global FCFS (exact mimicking of a FCFS output-queued switch, footnote 3
+//! of the paper), and unordered greedy (ablation only).
+
+use pps_core::prelude::*;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+/// Key ordering eligible cells: earliest switch arrival first, then global
+/// id (which encodes input order within a slot).
+type EmitKey = (Slot, CellId);
+
+/// Heap entry ordered by [`EmitKey`] alone (cell ids are unique, so the
+/// key equality is consistent with `Eq`).
+#[derive(Clone, Debug)]
+struct Eligible(EmitKey, Cell);
+
+impl PartialEq for Eligible {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl Eq for Eligible {}
+impl PartialOrd for Eligible {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Eligible {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+/// One output port's multiplexor.
+#[derive(Clone, Debug)]
+pub struct OutputMux {
+    discipline: OutputDiscipline,
+    /// Cells eligible for emission right now, min-ordered by [`EmitKey`].
+    /// (A binary heap, not a BTreeMap: insert/pop-min dominate the hot
+    /// path and keys are never removed out of order.)
+    eligible: BinaryHeap<Reverse<Eligible>>,
+    /// FlowFifo: cells waiting for earlier cells of their flow, per input.
+    reorder: Vec<BTreeMap<u32, Cell>>,
+    /// FlowFifo: next expected sequence number per input.
+    next_seq: Vec<u32>,
+    /// GlobalFcfs: ids of cells bound for this output that are inside the
+    /// switch but have not yet been emitted (registered at dispatch time).
+    in_flight: BTreeSet<CellId>,
+    /// GlobalFcfs: cells present at the mux, by id.
+    present: BTreeMap<CellId, Cell>,
+    /// Number of cells currently held (all disciplines).
+    held: usize,
+    /// High-water mark of `held`.
+    max_held: usize,
+    /// Total emitted.
+    emitted: u64,
+}
+
+impl OutputMux {
+    /// An empty multiplexor for an `n`-input switch.
+    pub fn new(n: usize, discipline: OutputDiscipline) -> Self {
+        OutputMux {
+            discipline,
+            eligible: BinaryHeap::new(),
+            reorder: (0..n).map(|_| BTreeMap::new()).collect(),
+            next_seq: vec![0; n],
+            in_flight: BTreeSet::new(),
+            present: BTreeMap::new(),
+            held: 0,
+            max_held: 0,
+            emitted: 0,
+        }
+    }
+
+    /// GlobalFcfs only: register that `id` has entered the switch bound for
+    /// this output (called by the engine at dispatch time, so the mux knows
+    /// whether an earlier cell is still in transit).
+    pub fn register_in_flight(&mut self, id: CellId) {
+        if self.discipline == OutputDiscipline::GlobalFcfs {
+            self.in_flight.insert(id);
+        }
+    }
+
+    /// GlobalFcfs only: remove a registration made by
+    /// [`register_in_flight`](Self::register_in_flight) for a cell that
+    /// will never arrive (lost to a failed plane), so the mux does not wait
+    /// for it forever.
+    pub fn unregister_in_flight(&mut self, id: CellId) {
+        self.in_flight.remove(&id);
+    }
+
+    /// A plane delivered `cell` to this output.
+    pub fn deliver(&mut self, cell: Cell) {
+        self.held += 1;
+        self.max_held = self.max_held.max(self.held);
+        match self.discipline {
+            OutputDiscipline::FlowFifo => {
+                let i = cell.input.idx();
+                if cell.seq == self.next_seq[i] {
+                    self.eligible.push(Reverse(Eligible((cell.arrival, cell.id), cell)));
+                } else {
+                    self.reorder[i].insert(cell.seq, cell);
+                }
+            }
+            OutputDiscipline::GlobalFcfs => {
+                self.present.insert(cell.id, cell);
+            }
+            OutputDiscipline::Greedy => {
+                self.eligible.push(Reverse(Eligible((cell.arrival, cell.id), cell)));
+            }
+        }
+    }
+
+    /// Emit at most one cell this slot, per the discipline.
+    pub fn emit(&mut self) -> Option<Cell> {
+        let cell = match self.discipline {
+            OutputDiscipline::FlowFifo => {
+                let Reverse(Eligible(_, cell)) = self.eligible.pop()?;
+                let i = cell.input.idx();
+                self.next_seq[i] = cell.seq + 1;
+                // The successor may now be eligible.
+                if let Some(next) = self.reorder[i].remove(&self.next_seq[i]) {
+                    self.eligible.push(Reverse(Eligible((next.arrival, next.id), next)));
+                }
+                cell
+            }
+            OutputDiscipline::GlobalFcfs => {
+                // Emit the oldest present cell only if nothing older is
+                // still in transit inside the switch.
+                let &oldest_present = self.present.keys().next()?;
+                let &oldest_in_flight = self
+                    .in_flight
+                    .first()
+                    .expect("present cells are always registered in flight");
+                if oldest_present != oldest_in_flight {
+                    return None; // wait for the straggler
+                }
+                self.in_flight.pop_first();
+                self.present.remove(&oldest_present).unwrap()
+            }
+            OutputDiscipline::Greedy => {
+                let Reverse(Eligible(_, cell)) = self.eligible.pop()?;
+                cell
+            }
+        };
+        self.held -= 1;
+        self.emitted += 1;
+        Some(cell)
+    }
+
+    /// Cells currently held at the mux.
+    pub fn held(&self) -> usize {
+        self.held
+    }
+
+    /// Whether the mux could possibly emit this slot (cheap pre-check used
+    /// by the engine's active-output tracking).
+    pub fn has_work(&self) -> bool {
+        self.held > 0
+    }
+
+    /// High-water mark of held cells — the output-side buffer requirement.
+    pub fn max_held(&self) -> usize {
+        self.max_held
+    }
+
+    /// Total cells emitted.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(id: u64, input: u32, seq: u32, arrival: Slot) -> Cell {
+        Cell {
+            id: CellId(id),
+            input: PortId(input),
+            output: PortId(0),
+            seq,
+            arrival,
+        }
+    }
+
+    #[test]
+    fn flow_fifo_resequences_within_flow() {
+        let mut m = OutputMux::new(2, OutputDiscipline::FlowFifo);
+        // Flow from input 0 delivered out of order: seq 1 first.
+        m.deliver(cell(1, 0, 1, 1));
+        assert_eq!(m.emit(), None); // seq 0 missing — blocked
+        m.deliver(cell(0, 0, 0, 0));
+        assert_eq!(m.emit().unwrap().id, CellId(0));
+        assert_eq!(m.emit().unwrap().id, CellId(1));
+        assert_eq!(m.emit(), None);
+    }
+
+    #[test]
+    fn flow_fifo_does_not_block_other_flows() {
+        let mut m = OutputMux::new(2, OutputDiscipline::FlowFifo);
+        m.deliver(cell(5, 0, 1, 5)); // blocked: waits for seq 0 of input 0
+        m.deliver(cell(7, 1, 0, 7)); // eligible
+        assert_eq!(m.emit().unwrap().id, CellId(7));
+        assert_eq!(m.emit(), None);
+        assert_eq!(m.held(), 1);
+    }
+
+    #[test]
+    fn flow_fifo_prefers_earliest_arrival() {
+        let mut m = OutputMux::new(2, OutputDiscipline::FlowFifo);
+        m.deliver(cell(9, 1, 0, 9));
+        m.deliver(cell(3, 0, 0, 3));
+        assert_eq!(m.emit().unwrap().id, CellId(3));
+    }
+
+    #[test]
+    fn global_fcfs_waits_for_stragglers() {
+        let mut m = OutputMux::new(2, OutputDiscipline::GlobalFcfs);
+        m.register_in_flight(CellId(1));
+        m.register_in_flight(CellId(2));
+        m.deliver(cell(2, 1, 0, 0));
+        // Cell 1 is still in a plane: the mux must idle.
+        assert_eq!(m.emit(), None);
+        m.deliver(cell(1, 0, 0, 0));
+        assert_eq!(m.emit().unwrap().id, CellId(1));
+        assert_eq!(m.emit().unwrap().id, CellId(2));
+    }
+
+    #[test]
+    fn greedy_emits_anything_earliest_first() {
+        let mut m = OutputMux::new(2, OutputDiscipline::Greedy);
+        m.deliver(cell(5, 0, 1, 5)); // out of order within its flow — greedy does not care
+        m.deliver(cell(8, 0, 0, 8));
+        assert_eq!(m.emit().unwrap().id, CellId(5));
+        assert_eq!(m.emit().unwrap().id, CellId(8));
+    }
+
+    #[test]
+    fn high_water_mark() {
+        let mut m = OutputMux::new(1, OutputDiscipline::FlowFifo);
+        m.deliver(cell(0, 0, 0, 0));
+        m.deliver(cell(1, 0, 1, 0));
+        m.emit();
+        m.deliver(cell(2, 0, 2, 0));
+        assert_eq!(m.max_held(), 2);
+        assert_eq!(m.emitted(), 1);
+    }
+}

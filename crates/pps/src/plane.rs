@@ -1,0 +1,136 @@
+//! Center-stage planes.
+//!
+//! Each of the `K` planes is an `N × N` output-queued switch operating at
+//! the internal rate `r`: it buffers cells per destination output and feeds
+//! the plane→output lines, each of which carries at most one cell every
+//! `r'` slots (the *output constraint* — enforced by the engine's
+//! [`pps_core::LinkBank`], not here). The plane's internal scheduling is
+//! greedy FIFO per destination queue, which the paper's Lemma 4 explicitly
+//! allows to be *optimal*: the lower bounds do not depend on plane
+//! scheduling, only on the line-rate bottleneck.
+
+use pps_core::prelude::*;
+
+/// One center-stage plane: per-output FIFO buffers plus carry statistics.
+#[derive(Clone, Debug)]
+pub struct Plane {
+    /// Per-destination FIFO queues.
+    queues: Vec<FifoQueue<Cell>>,
+    /// Cells ever accepted by this plane.
+    carried: u64,
+    /// Whether the plane has failed (fault-injection experiments): a failed
+    /// plane black-holes cells handed to it.
+    failed: bool,
+}
+
+impl Plane {
+    /// An idle plane for an `n`-port switch.
+    pub fn new(n: usize) -> Self {
+        Plane {
+            queues: (0..n).map(|_| FifoQueue::new()).collect(),
+            carried: 0,
+            failed: false,
+        }
+    }
+
+    /// Accept a cell for its destination queue. Returns `false` if the
+    /// plane has failed and the cell was lost.
+    pub fn accept(&mut self, cell: Cell) -> bool {
+        if self.failed {
+            return false;
+        }
+        self.queues[cell.output.idx()].push(cell);
+        self.carried += 1;
+        true
+    }
+
+    /// Pop the head cell queued for `output`.
+    pub fn pop_for(&mut self, output: usize) -> Option<Cell> {
+        self.queues[output].pop()
+    }
+
+    /// Occupancy of the queue for `output`.
+    pub fn queue_len(&self, output: usize) -> usize {
+        self.queues[output].len()
+    }
+
+    /// Whether any cell is queued anywhere in the plane.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+
+    /// Total queued cells across outputs.
+    pub fn backlog(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Cells ever accepted.
+    pub fn carried(&self) -> u64 {
+        self.carried
+    }
+
+    /// Highest occupancy any destination queue ever reached — the buffer
+    /// provisioning the paper ties to relative queuing delay.
+    pub fn max_queue_occupancy(&self) -> usize {
+        self.queues.iter().map(|q| q.max_occupancy()).max().unwrap_or(0)
+    }
+
+    /// Mark the plane failed (fault-injection); subsequent cells are lost.
+    pub fn fail(&mut self) {
+        self.failed = true;
+    }
+
+    /// Whether the plane is failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(id: u64, output: u32) -> Cell {
+        Cell {
+            id: CellId(id),
+            input: PortId(0),
+            output: PortId(output),
+            seq: 0,
+            arrival: 0,
+        }
+    }
+
+    #[test]
+    fn per_output_fifo() {
+        let mut p = Plane::new(2);
+        assert!(p.accept(cell(0, 1)));
+        assert!(p.accept(cell(1, 0)));
+        assert!(p.accept(cell(2, 1)));
+        assert_eq!(p.queue_len(1), 2);
+        assert_eq!(p.pop_for(1).unwrap().id, CellId(0));
+        assert_eq!(p.pop_for(1).unwrap().id, CellId(2));
+        assert_eq!(p.pop_for(1), None);
+        assert_eq!(p.backlog(), 1);
+        assert_eq!(p.carried(), 3);
+    }
+
+    #[test]
+    fn failed_plane_black_holes() {
+        let mut p = Plane::new(1);
+        p.fail();
+        assert!(!p.accept(cell(0, 0)));
+        assert!(p.is_empty());
+        assert_eq!(p.carried(), 0);
+    }
+
+    #[test]
+    fn occupancy_high_water_mark() {
+        let mut p = Plane::new(1);
+        for i in 0..4 {
+            p.accept(cell(i, 0));
+        }
+        p.pop_for(0);
+        p.pop_for(0);
+        assert_eq!(p.max_queue_occupancy(), 4);
+    }
+}

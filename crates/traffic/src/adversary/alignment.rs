@@ -1,0 +1,202 @@
+//! Generic demultiplexor state steering.
+//!
+//! The proof of Theorem 6 picks, for each input `i` in the concentrating
+//! set, a traffic `A_i` that drives demultiplexor `i` into a state `σ_i`
+//! from which its next cell for output `j` is dispatched to plane `k`.
+//! The paper gets `A_i`'s existence from the assumption that the switch's
+//! applicable configurations form a strongly-connected graph; here we
+//! *search* for it by running the real automaton: clone the demultiplexor,
+//! feed probe cells for output `j` (with all lines free, which the final
+//! traffic guarantees by spacing), and stop when the automaton's next
+//! choice is the target plane.
+//!
+//! The driver works for any [`Demultiplexor`] that is `Clone` and
+//! deterministic — including the seeded randomized one, whose RNG state
+//! clones along.
+
+use pps_core::cell::Cell;
+use pps_core::demux::{probe_dispatch, Demultiplexor};
+use pps_core::ids::{CellId, PlaneId, PortId};
+use pps_core::time::Slot;
+
+/// Result of steering a set of inputs toward `(output, plane)`.
+#[derive(Clone, Debug)]
+pub struct AlignmentPlan {
+    /// The hot output `j`.
+    pub output: u32,
+    /// The concentrating plane `k`.
+    pub plane: u32,
+    /// Per aligned input: `(input, probe cells consumed)`. After consuming
+    /// that many cells for `output`, the input's next dispatch for
+    /// `output` uses `plane`.
+    pub probes: Vec<(u32, usize)>,
+}
+
+impl AlignmentPlan {
+    /// Number of aligned inputs — the concentration `d` of Theorem 6.
+    pub fn d(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Total alignment cells across inputs.
+    pub fn total_probes(&self) -> usize {
+        self.probes.iter().map(|&(_, c)| c).sum()
+    }
+}
+
+fn probe_cell(input: u32, output: u32) -> Cell {
+    Cell {
+        id: CellId(0),
+        input: PortId(input),
+        output: PortId(output),
+        seq: 0,
+        arrival: 0,
+    }
+}
+
+/// Steer every input in `inputs` of a clone of `demux` toward dispatching
+/// its next `output`-cell to `plane`. Inputs that cannot be aligned within
+/// `max_probes` cells are omitted from the plan.
+///
+/// `k` is the number of planes (probe contexts present all lines as free).
+pub fn plan_alignment<D: Demultiplexor + Clone>(
+    demux: &D,
+    inputs: &[u32],
+    k: usize,
+    output: u32,
+    plane: u32,
+    max_probes: usize,
+) -> AlignmentPlan {
+    let all_free: Vec<Slot> = vec![0; k];
+    let mut sim = demux.clone();
+    let mut probes = Vec::new();
+    for &input in inputs {
+        let cell = probe_cell(input, output);
+        let mut consumed = 0usize;
+        let aligned = loop {
+            // Peek: what would the automaton do right now?
+            let mut peek = sim.clone();
+            if probe_dispatch(&mut peek, &cell, 0, &all_free) == PlaneId(plane) {
+                break true;
+            }
+            if consumed >= max_probes {
+                break false;
+            }
+            // Consume one probe cell for real.
+            probe_dispatch(&mut sim, &cell, 0, &all_free);
+            consumed += 1;
+        };
+        if aligned {
+            probes.push((input, consumed));
+        }
+    }
+    AlignmentPlan {
+        output,
+        plane,
+        probes,
+    }
+}
+
+/// Search all `(output = 0, plane)` targets and return the plan with the
+/// largest concentration `d` (ties: fewest total probe cells). This is how
+/// the adversary finds the plane/output pair witnessing that the algorithm
+/// is d-partitioned.
+pub fn best_alignment<D: Demultiplexor + Clone>(
+    demux: &D,
+    inputs: &[u32],
+    k: usize,
+    output: u32,
+    max_probes: usize,
+) -> AlignmentPlan {
+    (0..k as u32)
+        .map(|plane| plan_alignment(demux, inputs, k, output, plane, max_probes))
+        .max_by(|a, b| {
+            (a.d(), std::cmp::Reverse(a.total_probes()))
+                .cmp(&(b.d(), std::cmp::Reverse(b.total_probes())))
+        })
+        .expect("at least one plane")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_core::demux::{DispatchCtx, InfoClass};
+
+    /// A toy automaton: cycles planes 0..k; destination-oblivious.
+    #[derive(Clone)]
+    struct Cycler {
+        next: Vec<u32>,
+        k: u32,
+    }
+    impl Demultiplexor for Cycler {
+        fn info_class(&self) -> InfoClass {
+            InfoClass::FullyDistributed
+        }
+        fn dispatch(&mut self, cell: &Cell, _ctx: &DispatchCtx<'_>) -> PlaneId {
+            let i = cell.input.idx();
+            let p = self.next[i];
+            self.next[i] = (p + 1) % self.k;
+            PlaneId(p)
+        }
+        fn reset(&mut self) {
+            self.next.fill(0);
+        }
+        fn name(&self) -> &'static str {
+            "cycler"
+        }
+    }
+
+    #[test]
+    fn aligns_cyclers_with_mixed_phases() {
+        let demux = Cycler {
+            next: vec![0, 1, 2, 3],
+            k: 4,
+        };
+        let plan = plan_alignment(&demux, &[0, 1, 2, 3], 4, 0, 2, 8);
+        assert_eq!(plan.d(), 4);
+        // Input 0 needs 2 probes (0,1 consumed), input 2 needs 0, etc.
+        let by_input: std::collections::BTreeMap<u32, usize> =
+            plan.probes.iter().copied().collect();
+        assert_eq!(by_input[&0], 2);
+        assert_eq!(by_input[&1], 1);
+        assert_eq!(by_input[&2], 0);
+        assert_eq!(by_input[&3], 3);
+    }
+
+    #[test]
+    fn unalignable_inputs_are_omitted() {
+        /// Never chooses plane 1.
+        #[derive(Clone)]
+        struct Stubborn;
+        impl Demultiplexor for Stubborn {
+            fn info_class(&self) -> InfoClass {
+                InfoClass::FullyDistributed
+            }
+            fn dispatch(&mut self, _c: &Cell, _ctx: &DispatchCtx<'_>) -> PlaneId {
+                PlaneId(0)
+            }
+            fn reset(&mut self) {}
+            fn name(&self) -> &'static str {
+                "stubborn"
+            }
+        }
+        let plan = plan_alignment(&Stubborn, &[0, 1], 2, 0, 1, 8);
+        assert_eq!(plan.d(), 0);
+        let plan0 = plan_alignment(&Stubborn, &[0, 1], 2, 0, 0, 8);
+        assert_eq!(plan0.d(), 2);
+        assert_eq!(plan0.total_probes(), 0);
+    }
+
+    #[test]
+    fn best_alignment_maximizes_d_then_minimizes_probes() {
+        let demux = Cycler {
+            next: vec![1, 1, 1],
+            k: 3,
+        };
+        let plan = best_alignment(&demux, &[0, 1, 2], 3, 0, 8);
+        assert_eq!(plan.d(), 3);
+        // All at phase 1: plane 1 costs zero probes and must be chosen.
+        assert_eq!(plan.plane, 1);
+        assert_eq!(plan.total_probes(), 0);
+    }
+}

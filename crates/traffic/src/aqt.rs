@@ -1,0 +1,175 @@
+//! Adversarial-queueing-theory admissibility (paper §6).
+//!
+//! The discussion section notes that instead of leaky buckets *"one can
+//! also use the metaphor of an adversary controlling the injection of
+//! cells … Two models were suggested to restrict the injected flows from
+//! flooding the network \[Andrews et al.; Borodin et al.\]; our flows
+//! satisfy these stronger restrictions as well."*
+//!
+//! The AQT `(w, ρ)` restriction: in every window of `w` consecutive slots,
+//! the cells requiring any single resource (here: an output port) number
+//! at most `⌈ρ·w⌉`. This module checks traces against it and relates it to
+//! the leaky-bucket model:
+//!
+//! * `(R, 0)` leaky-bucket (burst-free) ⟺ `(w, 1)`-admissible for every
+//!   window length `w` — which is why the Theorem 6/8/13 attack traffics
+//!   satisfy the AQT restriction too;
+//! * `(R, B)` leaky-bucket ⟹ `(w, 1)`-admissible for every `w ≥ B/(1−ρ)`
+//!   style bounds; the checker computes the exact per-window maxima so
+//!   experiments can report them directly.
+
+use pps_core::prelude::*;
+
+/// Exact maximum number of same-output cells in any `w`-slot window.
+pub fn max_window_load(trace: &Trace, n: usize, w: Slot) -> u64 {
+    assert!(w >= 1, "window length must be positive");
+    // Sliding window per output over the (sparse) arrival sequence.
+    let mut best = 0u64;
+    for j in 0..n as u32 {
+        let slots: Vec<Slot> = trace
+            .arrivals()
+            .iter()
+            .filter(|a| a.output.0 == j)
+            .map(|a| a.slot)
+            .collect();
+        let mut lo = 0usize;
+        for hi in 0..slots.len() {
+            while slots[hi] - slots[lo] >= w {
+                lo += 1;
+            }
+            best = best.max((hi - lo + 1) as u64);
+        }
+    }
+    best
+}
+
+/// Is `trace` `(w, ρ)`-admissible with `ρ = rho_num/rho_den`? (Every
+/// `w`-window carries at most `⌈ρ·w⌉` cells per output.)
+pub fn is_aqt_admissible(trace: &Trace, n: usize, w: Slot, rho: Ratio) -> bool {
+    let cap = (rho.num() as u128 * w as u128).div_ceil(rho.den() as u128) as u64;
+    max_window_load(trace, n, w) <= cap
+}
+
+/// The smallest window length at which the trace becomes `(w, 1)`-
+/// admissible, or `None` if it never does within the trace horizon
+/// (sustained overload — the congestion traffic of Proposition 15).
+pub fn admissibility_horizon(trace: &Trace, n: usize) -> Option<Slot> {
+    let horizon = trace.horizon() + 1;
+    let one = Ratio::new(1, 1);
+    (1..=horizon).find(|&w| {
+        // (w,1)-admissible at w must also hold for all larger windows to
+        // count; checking the largest violating window is equivalent to
+        // checking monotonically. For reporting purposes the first
+        // satisfying w with all larger windows also satisfying is found by
+        // scanning upward and verifying the tail lazily.
+        is_aqt_admissible(trace, n, w, one)
+            && (w..=horizon).step_by((horizon as usize / 16).max(1)).all(|w2| {
+                is_aqt_admissible(trace, n, w2, one)
+            })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{concentration_attack, congestion_traffic};
+    use crate::leaky_bucket::min_burstiness;
+    use pps_core::demux::{DispatchCtx, Demultiplexor, InfoClass};
+    use pps_core::ids::PlaneId;
+
+    fn trace(v: Vec<Arrival>, n: usize) -> Trace {
+        Trace::build(v, n).unwrap()
+    }
+
+    #[test]
+    fn window_load_counts_exactly() {
+        let t = trace(
+            vec![
+                Arrival::new(0, 0, 0),
+                Arrival::new(1, 1, 0),
+                Arrival::new(2, 2, 0),
+                Arrival::new(9, 0, 0),
+            ],
+            3,
+        );
+        assert_eq!(max_window_load(&t, 3, 1), 1);
+        assert_eq!(max_window_load(&t, 3, 3), 3);
+        assert_eq!(max_window_load(&t, 3, 10), 4);
+    }
+
+    #[test]
+    fn burst_free_iff_rate_one_admissible_everywhere() {
+        // One cell per slot to one output: burst-free and (w,1)-admissible
+        // at every w.
+        let t = trace((0..20).map(|s| Arrival::new(s, (s % 3) as u32, 0)).collect(), 3);
+        assert!(min_burstiness(&t, 3).burst_free());
+        for w in 1..=20 {
+            assert!(is_aqt_admissible(&t, 3, w, Ratio::new(1, 1)), "w = {w}");
+        }
+    }
+
+    /// Round-robin stand-in (avoids a dev-dependency cycle on pps-switch).
+    #[derive(Clone)]
+    struct Rr {
+        next: Vec<u32>,
+        k: u32,
+    }
+    impl Demultiplexor for Rr {
+        fn info_class(&self) -> InfoClass {
+            InfoClass::FullyDistributed
+        }
+        fn dispatch(&mut self, cell: &pps_core::Cell, ctx: &DispatchCtx<'_>) -> PlaneId {
+            let i = cell.input.idx();
+            let p = ctx.local.next_free_from(self.next[i] as usize).unwrap();
+            self.next[i] = (p as u32 + 1) % self.k;
+            PlaneId(p as u32)
+        }
+        fn reset(&mut self) {
+            self.next.fill(0);
+        }
+        fn name(&self) -> &'static str {
+            "rr"
+        }
+    }
+
+    #[test]
+    fn the_concentration_attack_satisfies_the_aqt_restriction() {
+        // Section 6's claim, checked mechanically: the Theorem 6 traffic is
+        // (w, 1)-admissible for every window length.
+        let cfg = PpsConfig::bufferless(8, 4, 2);
+        let atk = concentration_attack(
+            &Rr {
+                next: vec![0; 8],
+                k: 4,
+            },
+            &cfg,
+            &(0..8).collect::<Vec<_>>(),
+            16,
+        );
+        let horizon = atk.trace.horizon() + 1;
+        for w in (1..=horizon).step_by(7) {
+            assert!(
+                is_aqt_admissible(&atk.trace, 8, w, Ratio::new(1, 1)),
+                "attack violates AQT at w = {w}"
+            );
+        }
+        assert_eq!(admissibility_horizon(&atk.trace, 8), Some(1));
+    }
+
+    #[test]
+    fn congestion_traffic_is_never_rate_one_admissible() {
+        let c = congestion_traffic(8, 0, 2, 100);
+        assert_eq!(admissibility_horizon(&c.trace, 8), None);
+        // But it is (w, 2)-admissible: the overload rate is exactly 2.
+        assert!(is_aqt_admissible(&c.trace, 8, 50, Ratio::new(2, 1)));
+    }
+
+    #[test]
+    fn fractional_rates() {
+        // One cell every other slot: (w, 1/2)-admissible for even windows.
+        let t = trace((0..10).map(|i| Arrival::new(i * 2, 0, 0)).collect(), 1);
+        assert!(is_aqt_admissible(&t, 1, 4, Ratio::new(1, 2)));
+        // A 3-slot window holds 2 cells; at rho = 1/3 the cap is 1.
+        assert!(!is_aqt_admissible(&t, 1, 3, Ratio::new(1, 3)));
+    }
+}

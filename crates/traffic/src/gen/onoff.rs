@@ -1,0 +1,122 @@
+//! Bursty on/off arrivals.
+//!
+//! Each input alternates between ON bursts (a cell every slot, all to one
+//! destination) and OFF gaps, both geometrically distributed. With mean
+//! burst `b_on` and mean gap `b_off`, the offered load is
+//! `b_on / (b_on + b_off)`. Bursty traffic with correlated destinations is
+//! the classic generator of output contention — the stochastic analogue of
+//! the deterministic bursts in Theorem 10.
+
+use super::TrafficPattern;
+use pps_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// On/off (geometric) bursty traffic generator.
+#[derive(Clone, Debug)]
+pub struct OnOffGen {
+    /// Mean ON-burst length in cells (≥ 1).
+    pub mean_burst: f64,
+    /// Offered load per input, `0.0 .. 1.0`.
+    pub load: f64,
+    /// Destination pattern; the destination is re-drawn per burst, so a
+    /// burst is a contiguous run of one flow.
+    pub pattern: TrafficPattern,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl OnOffGen {
+    /// Uniform-destination bursty traffic.
+    pub fn uniform(mean_burst: f64, load: f64, seed: u64) -> Self {
+        OnOffGen {
+            mean_burst,
+            load,
+            pattern: TrafficPattern::Uniform,
+            seed,
+        }
+    }
+
+    /// Generate `slots` slots for an `n`-port switch.
+    pub fn trace(&self, n: usize, slots: Slot) -> Trace {
+        assert!(self.mean_burst >= 1.0, "mean burst must be >= 1 cell");
+        assert!((0.0..1.0).contains(&self.load), "load must be in [0, 1)");
+        let p_end_on = 1.0 / self.mean_burst;
+        // load = on / (on + off) => mean_off = mean_burst * (1 - load) / load.
+        let mean_off = if self.load > 0.0 {
+            self.mean_burst * (1.0 - self.load) / self.load
+        } else {
+            f64::INFINITY
+        };
+        let p_end_off = if mean_off.is_finite() {
+            (1.0 / mean_off).min(1.0)
+        } else {
+            0.0
+        };
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut arrivals = Vec::new();
+        for input in 0..n {
+            let mut on = rng.random_bool(self.load.max(0.0));
+            let mut dest = self.pattern.destination(input, n, &mut rng);
+            for slot in 0..slots {
+                if on {
+                    arrivals.push(Arrival::new(slot, input as u32, dest));
+                    if rng.random_bool(p_end_on) {
+                        on = false;
+                    }
+                } else if p_end_off > 0.0 && rng.random_bool(p_end_off) {
+                    on = true;
+                    dest = self.pattern.destination(input, n, &mut rng);
+                }
+            }
+        }
+        Trace::build(arrivals, n).expect("one cell per (slot, input) by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_is_approximately_respected() {
+        let t = OnOffGen::uniform(8.0, 0.5, 3).trace(8, 8000);
+        let rate = t.len() as f64 / (8.0 * 8000.0);
+        assert!((rate - 0.5).abs() < 0.06, "rate {rate}");
+    }
+
+    #[test]
+    fn bursts_are_contiguous_same_destination_runs() {
+        let t = OnOffGen::uniform(16.0, 0.5, 5).trace(1, 4000);
+        // Measure the mean run length of consecutive-slot same-destination
+        // cells on the single input; should be well above 1 (i.i.d. would
+        // give ~1 at load 0.5 with uniform dests over 1 output... use run
+        // structure instead: consecutive slots).
+        let arr = t.arrivals();
+        let mut runs = 0u64;
+        let mut cells = 0u64;
+        let mut prev: Option<&Arrival> = None;
+        for a in arr {
+            cells += 1;
+            let continues = prev.is_some_and(|p| p.slot + 1 == a.slot && p.output == a.output);
+            if !continues {
+                runs += 1;
+            }
+            prev = Some(a);
+        }
+        let mean_run = cells as f64 / runs as f64;
+        assert!(mean_run > 4.0, "mean run {mean_run} too short for bursty traffic");
+    }
+
+    #[test]
+    fn zero_load_is_empty() {
+        assert!(OnOffGen::uniform(4.0, 0.0, 1).trace(4, 500).is_empty());
+    }
+
+    #[test]
+    fn reproducible_for_a_seed() {
+        let a = OnOffGen::uniform(4.0, 0.3, 11).trace(4, 300);
+        let b = OnOffGen::uniform(4.0, 0.3, 11).trace(4, 300);
+        assert_eq!(a, b);
+    }
+}

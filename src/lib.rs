@@ -1,0 +1,11 @@
+//! Umbrella crate re-exporting the PPS reproduction workspace.
+//!
+//! See the individual crates: `pps-core`, `pps-traffic`, `pps-reference`,
+//! `pps-switch`, `pps-analysis`, `pps-experiments`.
+
+pub use pps_analysis as analysis;
+pub use pps_core as core_model;
+pub use pps_experiments as experiments;
+pub use pps_reference as reference;
+pub use pps_switch as switch;
+pub use pps_traffic as traffic;

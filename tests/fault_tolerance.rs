@@ -1,0 +1,136 @@
+//! Fault-injection integration tests for the paper's §3 fault-tolerance
+//! motivation: unpartitioned algorithms degrade gracefully under plane
+//! failure, statically partitioned ones concentrate the damage (and with
+//! minimal `r'`-plane subsets, footnote 4: one failure immediately drops
+//! cells).
+
+use pps_core::prelude::*;
+use pps_switch::demux::{RoundRobinDemux, StaticPartitionDemux};
+use pps_switch::engine::BufferlessPps;
+use pps_traffic::gen::BernoulliGen;
+
+fn run_with_failed_plane<D: Demultiplexor>(
+    cfg: PpsConfig,
+    demux: D,
+    trace: &Trace,
+    failed: usize,
+) -> pps_switch::engine::PpsRun {
+    let mut pps = BufferlessPps::new(cfg, demux).unwrap();
+    pps.fail_plane(failed);
+    pps.run(trace).unwrap()
+}
+
+#[test]
+fn no_failure_means_no_loss() {
+    let (n, k, r_prime) = (8, 4, 2);
+    let cfg = PpsConfig::bufferless(n, k, r_prime);
+    let trace = BernoulliGen::uniform(0.8, 3).trace(n, 500);
+    let run = BufferlessPps::new(cfg, RoundRobinDemux::new(n, k))
+        .unwrap()
+        .run(&trace)
+        .unwrap();
+    assert_eq!(run.stats.dropped, 0);
+    assert_eq!(run.log.undelivered(), 0);
+}
+
+#[test]
+fn unpartitioned_loss_is_about_one_over_k() {
+    let (n, k, r_prime) = (8, 8, 2);
+    let cfg = PpsConfig::bufferless(n, k, r_prime);
+    let trace = BernoulliGen::uniform(0.9, 5).trace(n, 2_000);
+    let run = run_with_failed_plane(cfg, RoundRobinDemux::new(n, k), &trace, 0);
+    let frac = run.stats.dropped as f64 / trace.len() as f64;
+    assert!(
+        (0.06..0.20).contains(&frac),
+        "round robin should lose ~1/K = 12.5%: lost {frac:.3}"
+    );
+}
+
+#[test]
+fn minimal_partition_halves_its_victims_traffic() {
+    // Footnote 4 configuration: each input uses exactly r' = 2 planes.
+    let (n, k, r_prime) = (8, 4, 2);
+    let cfg = PpsConfig::bufferless(n, k, r_prime);
+    let trace = BernoulliGen::uniform(0.9, 7).trace(n, 2_000);
+    let run = run_with_failed_plane(
+        cfg,
+        StaticPartitionDemux::minimal(n, k, r_prime),
+        &trace,
+        0,
+    );
+    // Inputs in group 0 (subset {0, 1}) lose every cell routed to plane 0,
+    // i.e. about half of what they send.
+    let mut sent = vec![0u64; n];
+    let mut lost = vec![0u64; n];
+    for rec in run.log.records() {
+        sent[rec.input.idx()] += 1;
+        if rec.plane == Some(PlaneId(0)) && rec.departure.is_none() {
+            lost[rec.input.idx()] += 1;
+        }
+    }
+    let demux = StaticPartitionDemux::minimal(n, k, r_prime);
+    for i in 0..n {
+        let frac = lost[i] as f64 / sent[i].max(1) as f64;
+        if demux.planes_of(i).contains(&0) {
+            assert!(frac > 0.35, "victim input {i} lost only {frac:.2}");
+        } else {
+            assert_eq!(lost[i], 0, "input {i} does not use plane 0");
+        }
+    }
+}
+
+#[test]
+fn failure_does_not_wedge_unaffected_flows() {
+    // Flows that never route through the dead plane still complete, in
+    // order.
+    let (n, k, r_prime) = (4, 4, 2);
+    let cfg = PpsConfig::bufferless(n, k, r_prime);
+    // Partition input 0 onto planes {2, 3}; others onto {0, 1}.
+    let demux = StaticPartitionDemux::new(vec![
+        vec![2, 3],
+        vec![0, 1],
+        vec![0, 1],
+        vec![0, 1],
+    ]);
+    let trace = BernoulliGen::uniform(0.7, 9).trace(n, 400);
+    let run = run_with_failed_plane(cfg, demux, &trace, 0);
+    for rec in run.log.records() {
+        if rec.input == PortId(0) {
+            assert!(
+                rec.departure.is_some(),
+                "flow avoiding the failed plane must complete: {rec:?}"
+            );
+        }
+    }
+    let order = pps_reference::checker::check_flow_order(&run.log);
+    // Only flows that actually lost a cell may show gaps; input 0 must not.
+    assert!(order.iter().all(|v| !matches!(
+        v,
+        pps_reference::checker::Violation::FlowReorder { flow, .. } if flow.input == PortId(0)
+    )));
+}
+
+#[test]
+fn global_fcfs_mux_does_not_deadlock_on_lost_cells() {
+    // A lost cell must not make the GlobalFcfs resequencer wait forever
+    // for it (the engine un-registers drops).
+    let (n, k, r_prime) = (4, 4, 2);
+    let cfg = PpsConfig::bufferless(n, k, r_prime).with_discipline(OutputDiscipline::GlobalFcfs);
+    let trace = BernoulliGen::uniform(0.9, 11).trace(n, 600);
+    let run = run_with_failed_plane(cfg, RoundRobinDemux::new(n, k), &trace, 1);
+    assert!(run.stats.dropped > 0, "the test needs actual losses");
+    // Every cell that reached a healthy plane departed.
+    let alive = run
+        .log
+        .records()
+        .iter()
+        .filter(|r| r.plane.is_some() && r.plane != Some(PlaneId(1)))
+        .count();
+    let delivered = run
+        .log
+        .records()
+        .iter()
+        .filter(|r| r.departure.is_some())
+        .count();
+    assert_eq!(alive, delivered, "healthy-plane cells must all depart");
+}

@@ -1,0 +1,111 @@
+//! Golden regression: exact, slot-level expected values for fixed
+//! configurations and seeds. Everything here is deterministic; any change
+//! to these numbers means the simulator's timing semantics moved, which
+//! must be a deliberate, documented decision (recorded in EXPERIMENTS.md's
+//! "Deviations" list), never drift.
+
+use pps_analysis::{compare_buffered, compare_bufferless};
+use pps_core::bounds;
+use pps_core::prelude::*;
+use pps_switch::demux::{
+    CpaDemux, DelayedCpaDemux, RoundRobinDemux, StaleLeastLoadedDemux,
+};
+use pps_traffic::adversary::{concentration_attack, urt_burst_attack};
+use pps_traffic::gen::BernoulliGen;
+use pps_traffic::min_burstiness;
+
+#[test]
+fn attack_builders_agree_with_the_bounds_module() {
+    let cfg = PpsConfig::bufferless(32, 8, 4);
+    let atk = concentration_attack(
+        &RoundRobinDemux::new(32, 8),
+        &cfg,
+        &(0..32).collect::<Vec<_>>(),
+        32,
+    );
+    assert_eq!(atk.predicted_bound, bounds::corollary7(&cfg));
+    assert_eq!(atk.model_exact_bound, bounds::corollary7_exact(&cfg));
+
+    let cfg10 = PpsConfig::bufferless(32, 8, 8);
+    let urt = urt_burst_attack(&cfg10, 4);
+    assert_eq!(urt.predicted_bound, bounds::theorem10(&cfg10, 4));
+    assert_eq!(urt.model_exact_bound, bounds::theorem10_exact(&cfg10, 4));
+    assert_eq!(urt.predicted_burstiness, bounds::theorem10_burstiness(&cfg10, 4));
+    assert_eq!(urt.m as u64, bounds::theorem10_m(&cfg10, 4));
+}
+
+#[test]
+fn corollary7_exact_to_the_slot() {
+    // The concentration attack on round robin is slot-exact: measured ==
+    // (R/r - 1)(N - 1) at every geometry we pin here.
+    for (n, k, r_prime) in [(8usize, 8usize, 4usize), (16, 8, 4), (32, 16, 2), (24, 12, 3)] {
+        let cfg = PpsConfig::bufferless(n, k, r_prime);
+        let demux = RoundRobinDemux::new(n, k);
+        let atk = concentration_attack(&demux, &cfg, &(0..n as u32).collect::<Vec<_>>(), 4 * k);
+        let cmp = compare_bufferless(cfg, demux, &atk.trace).unwrap();
+        assert_eq!(
+            cmp.relative_delay().max as u64,
+            bounds::corollary7_exact(&cfg),
+            "N={n} K={k} r'={r_prime}"
+        );
+        assert_eq!(
+            cmp.relative_jitter() as u64,
+            bounds::corollary7_exact(&cfg),
+            "jitter at N={n} K={k} r'={r_prime}"
+        );
+        assert_eq!(cmp.max_concentration(), n, "concentration must be the full burst: {n}");
+    }
+}
+
+#[test]
+fn urt_jitter_exact_to_the_slot() {
+    let cfg = PpsConfig::bufferless(32, 8, 8);
+    for u in [1u64, 2, 4] {
+        let atk = urt_burst_attack(&cfg, u);
+        let cmp =
+            compare_bufferless(cfg, StaleLeastLoadedDemux::new(32, 8, u), &atk.trace).unwrap();
+        assert_eq!(
+            cmp.relative_jitter() as u64,
+            bounds::theorem10_exact(&cfg, u),
+            "u = {u}"
+        );
+    }
+}
+
+#[test]
+fn fixed_seed_bernoulli_run_is_stable() {
+    // A pinned stochastic run: trace shape and headline metrics must never
+    // change for seed 20260705.
+    let (n, k, r_prime) = (8, 8, 2);
+    let trace = BernoulliGen::uniform(0.8, 20_260_705).trace(n, 1_000);
+    assert_eq!(trace.len(), 6409, "generator output drifted");
+    assert_eq!(min_burstiness(&trace, n).overall(), 11);
+    let cfg = PpsConfig::bufferless(n, k, r_prime);
+    let cmp = compare_bufferless(cfg, RoundRobinDemux::new(n, k), &trace).unwrap();
+    let rd = cmp.relative_delay();
+    assert_eq!(rd.pps_undelivered, 0);
+    assert!(
+        (0..=6).contains(&rd.max),
+        "typical-case relative delay moved: {}",
+        rd.max
+    );
+}
+
+#[test]
+fn cpa_and_delayed_cpa_exactness_pinned() {
+    let (n, k, r_prime) = (8, 8, 4);
+    let trace = BernoulliGen::uniform(1.0, 7).trace(n, 500);
+    let cpa_cfg = PpsConfig::bufferless(n, k, r_prime).with_discipline(OutputDiscipline::GlobalFcfs);
+    let cmp = compare_bufferless(cpa_cfg, CpaDemux::new(n, k, r_prime), &trace).unwrap();
+    assert_eq!(cmp.relative_delay().max, 0, "CPA exactness regressed");
+
+    let u = 3u64;
+    let buf_cfg =
+        PpsConfig::buffered(n, k, r_prime, u as usize).with_discipline(OutputDiscipline::GlobalFcfs);
+    let cmp = compare_buffered(buf_cfg, DelayedCpaDemux::new(n, k, r_prime, u), &trace).unwrap();
+    assert_eq!(
+        cmp.relative_delay().max,
+        bounds::theorem12_upper(u) as i64,
+        "delayed CPA should sit exactly at u under saturation"
+    );
+}
