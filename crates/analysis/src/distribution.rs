@@ -108,7 +108,13 @@ impl Histogram {
 
     /// Render as an ASCII bar chart, `width` columns for the longest bar.
     pub fn render(&self, width: usize) -> String {
-        let max_count = self.buckets.iter().map(|&(_, _, c)| c).max().unwrap_or(1).max(1);
+        let max_count = self
+            .buckets
+            .iter()
+            .map(|&(_, _, c)| c)
+            .max()
+            .unwrap_or(1)
+            .max(1);
         let mut out = String::new();
         for &(lo, hi, count) in &self.buckets {
             let bar = "#".repeat((count * width).div_ceil(max_count).min(width));

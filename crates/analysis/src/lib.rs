@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod degradation;
 pub mod distribution;
 pub mod lockstep;
 pub mod metrics;
@@ -24,8 +25,12 @@ pub mod plot;
 pub mod table;
 pub mod timeseries;
 
+pub use degradation::{fault_impact, FaultImpact};
 pub use distribution::{relative_delays, Histogram, Percentiles};
-pub use lockstep::{compare_buffered, compare_bufferless, Comparison};
+pub use lockstep::{
+    compare_buffered, compare_buffered_faulted, compare_bufferless, compare_bufferless_faulted,
+    Comparison,
+};
 pub use metrics::{flow_jitters, RelativeDelay};
 pub use plot::AsciiChart;
 pub use table::Table;

@@ -98,6 +98,37 @@ pub fn compare_buffered<D: BufferedDemultiplexor>(
     Ok(Comparison { pps, oq, n: cfg.n })
 }
 
+/// Like [`compare_bufferless`], but the PPS replays the scripted `faults`
+/// mid-run. The shadow switch stays fault-free: relative metrics then
+/// measure pure degradation, not a shifted baseline.
+pub fn compare_bufferless_faulted<D: Demultiplexor>(
+    cfg: PpsConfig,
+    demux: D,
+    trace: &Trace,
+    faults: &FaultPlan,
+) -> Result<Comparison, ModelError> {
+    let mut sw = BufferlessPps::new(cfg, demux)?;
+    sw.set_fault_plan(faults)?;
+    let pps = sw.run(trace)?;
+    let oq = run_oq(trace, cfg.n);
+    Ok(Comparison { pps, oq, n: cfg.n })
+}
+
+/// Like [`compare_buffered`], but the PPS replays the scripted `faults`
+/// mid-run.
+pub fn compare_buffered_faulted<D: BufferedDemultiplexor>(
+    cfg: PpsConfig,
+    demux: D,
+    trace: &Trace,
+    faults: &FaultPlan,
+) -> Result<Comparison, ModelError> {
+    let mut sw = BufferedPps::new(cfg, demux)?;
+    sw.set_fault_plan(faults)?;
+    let pps = sw.run(trace)?;
+    let oq = run_oq(trace, cfg.n);
+    Ok(Comparison { pps, oq, n: cfg.n })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,8 +149,7 @@ mod tests {
         // One flow per output: no contention anywhere, both switches are
         // pass-through.
         let cfg = PpsConfig::bufferless(4, 4, 2);
-        let cmp =
-            compare_bufferless(cfg, RoundRobinDemux::new(4, 4), &diag_trace(4, 64)).unwrap();
+        let cmp = compare_bufferless(cfg, RoundRobinDemux::new(4, 4), &diag_trace(4, 64)).unwrap();
         let rd = cmp.relative_delay();
         assert_eq!(rd.pps_undelivered, 0);
         assert_eq!(rd.max, 0, "diagonal traffic must be pass-through");
@@ -129,12 +159,8 @@ mod tests {
     #[test]
     fn buffered_engine_compares_too() {
         let cfg = PpsConfig::buffered(4, 4, 2, 8);
-        let cmp = compare_buffered(
-            cfg,
-            BufferedRoundRobinDemux::new(4, 4),
-            &diag_trace(4, 32),
-        )
-        .unwrap();
+        let cmp =
+            compare_buffered(cfg, BufferedRoundRobinDemux::new(4, 4), &diag_trace(4, 32)).unwrap();
         assert_eq!(cmp.relative_delay().pps_undelivered, 0);
         assert!(cmp.relative_delay().max <= 1);
     }

@@ -123,9 +123,7 @@ pub fn relative_jitter(pps: &RunLog, oq: &RunLog) -> i64 {
     flows.extend(jq.keys().copied());
     flows
         .into_iter()
-        .map(|f| {
-            *jp.get(&f).unwrap_or(&0) as i64 - *jq.get(&f).unwrap_or(&0) as i64
-        })
+        .map(|f| *jp.get(&f).unwrap_or(&0) as i64 - *jq.get(&f).unwrap_or(&0) as i64)
         .max()
         .unwrap_or(0)
 }
@@ -222,10 +220,7 @@ mod tests {
             (0, 0, Some(9), 0, 0, 0), // output 0, delay 9
             (1, 0, Some(1), 1, 1, 0), // output 1, delay 1
         ]);
-        let oq = log_with(&[
-            (0, 0, Some(0), 0, 0, 0),
-            (1, 0, Some(0), 1, 1, 0),
-        ]);
+        let oq = log_with(&[(0, 0, Some(0), 0, 0, 0), (1, 0, Some(0), 1, 1, 0)]);
         assert_eq!(relative_delay_for_output(&pps, &oq, PortId(0)).max, 9);
         assert_eq!(relative_delay_for_output(&pps, &oq, PortId(1)).max, 1);
         assert_eq!(relative_delay_for_output(&pps, &oq, PortId(2)).compared, 0);
@@ -259,14 +254,8 @@ mod tests {
     #[test]
     fn rank_relative_delay_ignores_identity() {
         // PPS swaps which cell departs when, but ranks line up: zero.
-        let pps = log_with(&[
-            (0, 0, Some(1), 0, 0, 0),
-            (1, 0, Some(0), 1, 0, 0),
-        ]);
-        let oq = log_with(&[
-            (0, 0, Some(0), 0, 0, 0),
-            (1, 0, Some(1), 1, 0, 0),
-        ]);
+        let pps = log_with(&[(0, 0, Some(1), 0, 0, 0), (1, 0, Some(0), 1, 0, 0)]);
+        let oq = log_with(&[(0, 0, Some(0), 0, 0, 0), (1, 0, Some(1), 1, 0, 0)]);
         let ranks = rank_relative_delay(&pps, &oq, PortId(0), (0, 10));
         assert_eq!(ranks, vec![0, 0]);
     }

@@ -74,11 +74,7 @@ impl AsciiChart {
             } else {
                 ""
             };
-            let _ = writeln!(
-                out,
-                "{label:>label_w$} |{}",
-                String::from_utf8_lossy(line)
-            );
+            let _ = writeln!(out, "{label:>label_w$} |{}", String::from_utf8_lossy(line));
         }
         let _ = writeln!(out, "{:label_w$} +{}", "", "-".repeat(self.width));
         let _ = writeln!(

@@ -119,11 +119,7 @@ mod tests {
         assert!(s.contains("demo"));
         assert!(s.contains("1024"));
         // All data lines have the same length.
-        let lens: std::collections::BTreeSet<usize> = s
-            .lines()
-            .skip(1)
-            .map(|l| l.len())
-            .collect();
+        let lens: std::collections::BTreeSet<usize> = s.lines().skip(1).map(|l| l.len()).collect();
         assert_eq!(lens.len(), 1, "{s}");
     }
 

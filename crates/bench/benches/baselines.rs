@@ -44,10 +44,15 @@ fn bench_buffered_engine(c: &mut Criterion) {
         })
     });
     g.bench_function("delayed_cpa_u4", |b| {
-        let cfg = PpsConfig::buffered(n, k, r_prime, 4)
-            .with_discipline(OutputDiscipline::GlobalFcfs);
+        let cfg =
+            PpsConfig::buffered(n, k, r_prime, 4).with_discipline(OutputDiscipline::GlobalFcfs);
         b.iter(|| {
-            run_buffered(cfg, DelayedCpaDemux::new(n, k, r_prime, 4), black_box(&trace)).unwrap()
+            run_buffered(
+                cfg,
+                DelayedCpaDemux::new(n, k, r_prime, 4),
+                black_box(&trace),
+            )
+            .unwrap()
         })
     });
     g.finish();
@@ -72,5 +77,10 @@ fn bench_regulator(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(baselines, bench_crossbar, bench_buffered_engine, bench_regulator);
+criterion_group!(
+    baselines,
+    bench_crossbar,
+    bench_buffered_engine,
+    bench_regulator
+);
 criterion_main!(baselines);

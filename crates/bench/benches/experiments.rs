@@ -126,7 +126,10 @@ fn bench_e17_cioq(c: &mut Criterion) {
     use pps_traffic::gen::{BernoulliGen, TrafficPattern};
     let trace = BernoulliGen {
         load: 0.95,
-        pattern: TrafficPattern::Hotspot { target: 0, hot: 0.35 },
+        pattern: TrafficPattern::Hotspot {
+            target: 0,
+            hot: 0.35,
+        },
         seed: 61,
     }
     .trace(16, 1_000);

@@ -114,8 +114,8 @@ fn bench_lockstep(c: &mut Criterion) {
     g.throughput(Throughput::Elements(trace.len() as u64));
     g.bench_function("rr_vs_shadow", |b| {
         b.iter(|| {
-            let cmp = compare_bufferless(cfg, RoundRobinDemux::new(n, k), black_box(&trace))
-                .unwrap();
+            let cmp =
+                compare_bufferless(cfg, RoundRobinDemux::new(n, k), black_box(&trace)).unwrap();
             (cmp.relative_delay().max, cmp.relative_jitter())
         })
     });

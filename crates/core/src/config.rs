@@ -2,6 +2,7 @@
 
 use crate::error::ModelError;
 use crate::rate::{speedup, Ratio};
+use crate::time::Slot;
 use serde::{Deserialize, Serialize};
 
 /// First-stage buffering model.
@@ -67,6 +68,13 @@ pub struct PpsConfig {
     pub buffer: BufferSpec,
     /// Output-stage emission discipline.
     pub discipline: OutputDiscipline,
+    /// Resequencer watchdog: if an output multiplexor holds cells but
+    /// emits nothing for this many consecutive slots (a cell lost to a
+    /// failed plane is head-of-line-blocking the discipline), it skips
+    /// ahead past the missing cell. `None` disables the watchdog — the
+    /// correct setting for fault-free runs, where a stall is a bug, not a
+    /// loss.
+    pub watchdog: Option<Slot>,
 }
 
 impl PpsConfig {
@@ -79,6 +87,7 @@ impl PpsConfig {
             r_prime,
             buffer: BufferSpec::Bufferless,
             discipline: OutputDiscipline::FlowFifo,
+            watchdog: None,
         }
     }
 
@@ -90,12 +99,20 @@ impl PpsConfig {
             r_prime,
             buffer: BufferSpec::Buffered { size },
             discipline: OutputDiscipline::FlowFifo,
+            watchdog: None,
         }
     }
 
     /// Replace the output discipline.
     pub fn with_discipline(mut self, d: OutputDiscipline) -> Self {
         self.discipline = d;
+        self
+    }
+
+    /// Enable the resequencer watchdog with a `timeout`-slot stall limit
+    /// (see [`PpsConfig::watchdog`]).
+    pub fn with_watchdog(mut self, timeout: Slot) -> Self {
+        self.watchdog = Some(timeout);
         self
     }
 
@@ -142,6 +159,9 @@ impl PpsConfig {
                 return fail("input buffer size must be positive; use Bufferless instead".into());
             }
         }
+        if self.watchdog == Some(0) {
+            return fail("watchdog timeout must be positive; use None to disable".into());
+        }
         Ok(())
     }
 }
@@ -177,6 +197,18 @@ mod tests {
         assert!(PpsConfig::bufferless(2, 0, 1).validate().is_err());
         assert!(PpsConfig::bufferless(2, 2, 0).validate().is_err());
         assert!(PpsConfig::buffered(2, 2, 1, 0).validate().is_err());
+    }
+
+    #[test]
+    fn watchdog_zero_is_rejected() {
+        assert!(PpsConfig::bufferless(2, 2, 1)
+            .with_watchdog(0)
+            .validate()
+            .is_err());
+        assert!(PpsConfig::bufferless(2, 2, 1)
+            .with_watchdog(16)
+            .validate()
+            .is_ok());
     }
 
     #[test]

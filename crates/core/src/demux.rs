@@ -95,7 +95,9 @@ impl<'a> LocalView<'a> {
     /// building block of every round-robin-style algorithm.
     pub fn next_free_from(&self, start: usize) -> Option<usize> {
         let k = self.k();
-        (0..k).map(|off| (start + off) % k).find(|&p| self.is_free(p))
+        (0..k)
+            .map(|off| (start + off) % k)
+            .find(|&p| self.is_free(p))
     }
 }
 

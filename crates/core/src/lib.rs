@@ -36,6 +36,7 @@ pub mod cell;
 pub mod config;
 pub mod demux;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod link;
 pub mod prelude;
@@ -52,6 +53,7 @@ pub use cell::Cell;
 pub use config::{BufferSpec, OutputDiscipline, PpsConfig};
 pub use demux::{BufferedDemultiplexor, Demultiplexor, DispatchCtx, InfoClass, LocalView};
 pub use error::ModelError;
+pub use fault::{FaultEvent, FaultPlan, PlaneMask};
 pub use ids::{CellId, FlowId, PlaneId, PortId};
 pub use link::LinkBank;
 pub use rate::Ratio;

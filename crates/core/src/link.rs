@@ -125,6 +125,15 @@ impl LinkBank {
         self.busy_until.fill(0);
         self.acquisitions = 0;
     }
+
+    /// Fault-injection: force line `(x, y)` busy through slot `until`
+    /// (exclusive), never shortening an existing occupancy. The line
+    /// simply looks busy to its owner's local view — exactly how a
+    /// degraded physical line presents to a demultiplexor.
+    pub fn degrade(&mut self, x: usize, y: usize, until: Slot) {
+        let idx = self.at(x, y);
+        self.busy_until[idx] = self.busy_until[idx].max(until);
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +188,18 @@ mod tests {
             bank.acquire(0, 0, t).unwrap();
         }
         assert_eq!(bank.acquisitions(), 5);
+    }
+
+    #[test]
+    fn degrade_forces_busy_without_shortening() {
+        let mut bank = LinkBank::new(1, 1, 2, LinkSide::InputToPlane);
+        bank.degrade(0, 0, 10);
+        assert!(!bank.is_free(0, 0, 9));
+        assert!(bank.is_free(0, 0, 10));
+        assert!(bank.acquire(0, 0, 5).is_err());
+        bank.degrade(0, 0, 3); // never shortens an occupancy
+        assert!(!bank.is_free(0, 0, 9));
+        assert_eq!(bank.acquisitions(), 0);
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub use crate::demux::{
     ExplorableDemux, InfoClass, LocalView,
 };
 pub use crate::error::ModelError;
+pub use crate::fault::{FaultEvent, FaultPlan, PlaneMask};
 pub use crate::ids::{CellId, FlowId, PlaneId, PortId};
 pub use crate::link::{LinkBank, LinkSide};
 pub use crate::queue::FifoQueue;

@@ -116,7 +116,10 @@ impl RunLog {
 
     /// Number of cells that never departed (still queued at horizon).
     pub fn undelivered(&self) -> usize {
-        self.records.iter().filter(|r| r.departure.is_none()).count()
+        self.records
+            .iter()
+            .filter(|r| r.departure.is_none())
+            .count()
     }
 
     /// Maximum queuing delay over delivered cells.
@@ -147,7 +150,11 @@ mod tests {
 
     fn demo_log() -> RunLog {
         let t = Trace::build(
-            vec![Arrival::new(0, 0, 0), Arrival::new(1, 0, 0), Arrival::new(2, 1, 0)],
+            vec![
+                Arrival::new(0, 0, 0),
+                Arrival::new(1, 0, 0),
+                Arrival::new(2, 1, 0),
+            ],
             2,
         )
         .unwrap();

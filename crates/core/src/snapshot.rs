@@ -10,6 +10,7 @@
 //! [`SnapshotRing`] retains the last `u + 1` snapshots so the engine can
 //! hand each demultiplexor exactly the view its class entitles it to.
 
+use crate::fault::PlaneMask;
 use crate::time::Slot;
 use std::collections::VecDeque;
 
@@ -32,6 +33,12 @@ pub struct GlobalSnapshot {
     pub input_buffer_len: Box<[u32]>,
     /// Cells waiting at each output multiplexor.
     pub output_pending: Box<[u32]>,
+    /// Which planes were up when the snapshot was taken. Part of the
+    /// observable state, so failure knowledge propagates with exactly the
+    /// information delay of the observer's class: a centralized
+    /// demultiplexor sees the current mask, a `u`-RT one a mask `u` slots
+    /// stale, a fully-distributed one no mask at all.
+    pub plane_mask: PlaneMask,
 }
 
 impl GlobalSnapshot {
@@ -44,6 +51,7 @@ impl GlobalSnapshot {
             plane_queue_len: vec![0; k * n].into_boxed_slice(),
             input_buffer_len: vec![0; n].into_boxed_slice(),
             output_pending: vec![0; n].into_boxed_slice(),
+            plane_mask: PlaneMask::all_up(k),
         }
     }
 

@@ -64,7 +64,11 @@ fn column_label(row: usize, shown: usize, total: usize, prefix: &str) -> String 
 
 fn plane_label(cfg: &PpsConfig, row: usize, shown: usize) -> String {
     if row < shown {
-        format!("[plane {row}: {n}x{n} @ r=R/{rp}]", n = cfg.n, rp = cfg.r_prime)
+        format!(
+            "[plane {row}: {n}x{n} @ r=R/{rp}]",
+            n = cfg.n,
+            rp = cfg.r_prime
+        )
     } else if row == shown && cfg.k > shown {
         format!("[... {} planes total]", cfg.k)
     } else {

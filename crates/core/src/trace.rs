@@ -65,10 +65,7 @@ impl Trace {
         for a in &arrivals {
             if a.input.idx() >= n || a.output.idx() >= n {
                 return Err(ModelError::MalformedTrace {
-                    reason: format!(
-                        "arrival {:?} references a port outside 0..{}",
-                        a, n
-                    ),
+                    reason: format!("arrival {:?} references a port outside 0..{}", a, n),
                 });
             }
         }
@@ -134,12 +131,10 @@ impl Trace {
         } else {
             self.horizon() + 1 + gap
         };
-        self.arrivals.extend(
-            other
-                .arrivals
-                .iter()
-                .map(|a| Arrival { slot: a.slot + base, ..*a }),
-        );
+        self.arrivals.extend(other.arrivals.iter().map(|a| Arrival {
+            slot: a.slot + base,
+            ..*a
+        }));
         self
     }
 

@@ -154,7 +154,11 @@ mod tests {
         let mut v = Vec::new();
         for s in 0..60u64 {
             for i in 0..n as u32 {
-                let j = if s % 3 == 0 { 0 } else { (i + s as u32) % n as u32 };
+                let j = if s % 3 == 0 {
+                    0
+                } else {
+                    (i + s as u32) % n as u32
+                };
                 v.push(Arrival::new(s, i, j));
             }
         }

@@ -55,7 +55,11 @@ impl CrossbarSwitch {
 
     /// Highest VOQ occupancy reached.
     pub fn max_voq_occupancy(&self) -> usize {
-        self.voqs.iter().map(|q| q.max_occupancy()).max().unwrap_or(0)
+        self.voqs
+            .iter()
+            .map(|q| q.max_occupancy())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total cells transmitted.
@@ -122,7 +126,10 @@ mod tests {
             .iter()
             .filter(|r| r.arrival > 20 && r.delay().unwrap() > 0)
             .collect();
-        assert!(late.is_empty(), "desynchronized iSLIP should be zero-delay: {late:?}");
+        assert!(
+            late.is_empty(),
+            "desynchronized iSLIP should be zero-delay: {late:?}"
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub fn run() -> ExperimentOutput {
     // A hot, bursty load that stresses the deadline calendar.
     let trace = BernoulliGen {
         load: 0.9,
-        pattern: TrafficPattern::Hotspot { target: 0, hot: 0.4 },
+        pattern: TrafficPattern::Hotspot {
+            target: 0,
+            hot: 0.4,
+        },
         seed: 91,
     }
     .trace(n, 2_000);
@@ -76,7 +79,10 @@ mod tests {
     fn threshold_crossover() {
         let trace = BernoulliGen {
             load: 0.95,
-            pattern: TrafficPattern::Hotspot { target: 0, hot: 0.5 },
+            pattern: TrafficPattern::Hotspot {
+                target: 0,
+                hot: 0.5,
+            },
             seed: 3,
         }
         .trace(8, 1_200);

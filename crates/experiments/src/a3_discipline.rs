@@ -16,7 +16,13 @@ use pps_switch::demux::RoundRobinDemux;
 use pps_traffic::gen::OnOffGen;
 
 /// One discipline point: `(max rel delay, mean rel delay, reorder count)`.
-pub fn point(n: usize, k: usize, r_prime: usize, d: OutputDiscipline, trace: &Trace) -> (i64, f64, usize) {
+pub fn point(
+    n: usize,
+    k: usize,
+    r_prime: usize,
+    d: OutputDiscipline,
+    trace: &Trace,
+) -> (i64, f64, usize) {
     let cfg = PpsConfig::bufferless(n, k, r_prime).with_discipline(d);
     let cmp = compare_bufferless(cfg, RoundRobinDemux::new(n, k), trace).expect("run");
     let rd = cmp.relative_delay();
@@ -34,16 +40,17 @@ pub fn run() -> ExperimentOutput {
     let trace = OnOffGen::uniform(12.0, 0.75, 55).trace(n, 3_000);
     let mut table = Table::new(
         format!("Output disciplines at N={n}, K={k}, r'={r_prime}, bursty on/off load 0.75"),
-        &["discipline", "max rel delay", "mean rel delay", "flow reorders"],
+        &[
+            "discipline",
+            "max rel delay",
+            "mean rel delay",
+            "flow reorders",
+        ],
     );
     let ff = point(n, k, r_prime, OutputDiscipline::FlowFifo, &trace);
     let gf = point(n, k, r_prime, OutputDiscipline::GlobalFcfs, &trace);
     let gr = point(n, k, r_prime, OutputDiscipline::Greedy, &trace);
-    for (name, (max, mean, reorders)) in [
-        ("flow-fifo", ff),
-        ("global-fcfs", gf),
-        ("greedy", gr),
-    ] {
+    for (name, (max, mean, reorders)) in [("flow-fifo", ff), ("global-fcfs", gf), ("greedy", gr)] {
         table.row_display(&[
             name.to_string(),
             max.to_string(),

@@ -98,7 +98,10 @@ fn main() {
                 .iter()
                 .map(|(_, runner)| scope.spawn(move |_| runner()))
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("experiment")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("experiment"))
+                .collect()
         })
         .expect("scope")
     } else {

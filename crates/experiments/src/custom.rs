@@ -97,14 +97,18 @@ fn build_algo(spec: &str, n: usize, k: usize, r_prime: usize) -> Result<Algo, St
         "pfr" => Algo::Pfr(PerFlowRoundRobinDemux::new(n, k)),
         "random" => Algo::Random(RandomDemux::new(
             n,
-            param.map_or(Ok(0), str::parse).map_err(|e| format!("random seed: {e}"))?,
+            param
+                .map_or(Ok(0), str::parse)
+                .map_err(|e| format!("random seed: {e}"))?,
         )),
         "partition" => Algo::Partition(StaticPartitionDemux::minimal(n, k, r_prime)),
         "ftd" => Algo::Ftd(FtdDemux::new(
             n,
             k,
             r_prime,
-            param.map_or(Ok(2), str::parse).map_err(|e| format!("ftd h: {e}"))?,
+            param
+                .map_or(Ok(2), str::parse)
+                .map_err(|e| format!("ftd h: {e}"))?,
         )),
         "stale" => Algo::Stale(StaleLeastLoadedDemux::new(
             n,
@@ -148,29 +152,47 @@ fn build_workload(
                 }
             }
         }
-        "urt" => urt_burst_attack(cfg, param.map_or(Ok(1), str::parse).map_err(|e| format!("urt u: {e}"))?).trace,
+        "urt" => {
+            urt_burst_attack(
+                cfg,
+                param
+                    .map_or(Ok(1), str::parse)
+                    .map_err(|e| format!("urt u: {e}"))?,
+            )
+            .trace
+        }
         "bernoulli" => BernoulliGen::uniform(
-            param.map_or(Ok(0.9), str::parse).map_err(|e| format!("bernoulli load: {e}"))?,
+            param
+                .map_or(Ok(0.9), str::parse)
+                .map_err(|e| format!("bernoulli load: {e}"))?,
             42,
         )
         .trace(n, args.slots),
         "onoff" => OnOffGen::uniform(
             12.0,
-            param.map_or(Ok(0.7), str::parse).map_err(|e| format!("onoff load: {e}"))?,
+            param
+                .map_or(Ok(0.7), str::parse)
+                .map_err(|e| format!("onoff load: {e}"))?,
             42,
         )
         .trace(n, args.slots),
         "cbr" => CbrGen::diagonal(
-            param.map_or(Ok(2), str::parse).map_err(|e| format!("cbr period: {e}"))?,
+            param
+                .map_or(Ok(2), str::parse)
+                .map_err(|e| format!("cbr period: {e}"))?,
         )
         .trace(n, args.slots),
-        "congestion" => congestion_traffic(
-            n,
-            0,
-            param.map_or(Ok(2), str::parse).map_err(|e| format!("congestion senders: {e}"))?,
-            args.slots,
-        )
-        .trace,
+        "congestion" => {
+            congestion_traffic(
+                n,
+                0,
+                param
+                    .map_or(Ok(2), str::parse)
+                    .map_err(|e| format!("congestion senders: {e}"))?,
+                args.slots,
+            )
+            .trace
+        }
         other => return Err(format!("unknown workload {other}")),
     })
 }
@@ -206,21 +228,38 @@ pub fn run_custom(raw_args: &[String]) -> Result<String, String> {
             .map_err(|e| format!("saving trace: {e}"))?;
     }
     let b = min_burstiness(&trace, args.n).overall();
-    let cmp = compare(cfg, build_algo(&args.algo, args.n, args.k, args.r_prime)?, &trace)?;
+    let cmp = compare(
+        cfg,
+        build_algo(&args.algo, args.n, args.k, args.r_prime)?,
+        &trace,
+    )?;
     let _ = algo;
     let rd = cmp.relative_delay();
     let mut out = String::new();
     use std::fmt::Write as _;
     let _ = writeln!(out, "{}", pps_core::topology::describe(&cfg));
     let _ = writeln!(out, "algorithm            : {}", args.algo);
-    let _ = writeln!(out, "workload             : {} ({} cells, B_min = {b})", args.workload, trace.len());
-    let _ = writeln!(out, "traffic              : {}", TraceStats::of(&trace, args.n).summary());
+    let _ = writeln!(
+        out,
+        "workload             : {} ({} cells, B_min = {b})",
+        args.workload,
+        trace.len()
+    );
+    let _ = writeln!(
+        out,
+        "traffic              : {}",
+        TraceStats::of(&trace, args.n).summary()
+    );
     let _ = writeln!(out, "relative delay (max) : {}", rd.max);
     let _ = writeln!(out, "relative delay (mean): {:.3}", rd.mean);
     let _ = writeln!(out, "relative jitter      : {}", cmp.relative_jitter());
     let _ = writeln!(out, "undelivered          : {}", rd.pps_undelivered);
     let _ = writeln!(out, "max concentration    : {}", cmp.max_concentration());
-    let _ = writeln!(out, "plane buffer HWM     : {}", cmp.pps_stats().max_plane_queue);
+    let _ = writeln!(
+        out,
+        "plane buffer HWM     : {}",
+        cmp.pps_stats().max_plane_queue
+    );
     Ok(out)
 }
 
@@ -241,7 +280,16 @@ mod tests {
     #[test]
     fn attack_workload_matches_library_numbers() {
         let out = run_custom(&strs(&[
-            "--n", "16", "--k", "8", "--rprime", "4", "--algo", "rr", "--workload", "attack",
+            "--n",
+            "16",
+            "--k",
+            "8",
+            "--rprime",
+            "4",
+            "--algo",
+            "rr",
+            "--workload",
+            "attack",
         ]))
         .unwrap();
         // (r'-1)(N-1) = 45.
@@ -251,10 +299,30 @@ mod tests {
 
     #[test]
     fn every_algorithm_spec_parses_and_runs() {
-        for algo in ["rr", "pfr", "random:7", "partition", "ftd:2", "stale:2", "lll", "hash", "cpa"] {
+        for algo in [
+            "rr",
+            "pfr",
+            "random:7",
+            "partition",
+            "ftd:2",
+            "stale:2",
+            "lll",
+            "hash",
+            "cpa",
+        ] {
             let out = run_custom(&strs(&[
-                "--n", "8", "--k", "8", "--rprime", "2", "--algo", algo, "--workload",
-                "bernoulli:0.8", "--slots", "200",
+                "--n",
+                "8",
+                "--k",
+                "8",
+                "--rprime",
+                "2",
+                "--algo",
+                algo,
+                "--workload",
+                "bernoulli:0.8",
+                "--slots",
+                "200",
             ]))
             .unwrap_or_else(|e| panic!("{algo}: {e}"));
             assert!(out.contains("undelivered          : 0"), "{algo}: {out}");
@@ -274,8 +342,18 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.csv");
         run_custom(&strs(&[
-            "--n", "8", "--k", "8", "--rprime", "2", "--workload", "cbr:2", "--slots", "50",
-            "--save-trace", path.to_str().unwrap(),
+            "--n",
+            "8",
+            "--k",
+            "8",
+            "--rprime",
+            "2",
+            "--workload",
+            "cbr:2",
+            "--slots",
+            "50",
+            "--save-trace",
+            path.to_str().unwrap(),
         ]))
         .unwrap();
         let loaded = pps_core::trace_io::load(&path, 8).unwrap();

@@ -129,7 +129,15 @@ mod tests {
 
     #[test]
     fn bound_scales_with_d() {
-        let f = |d| point(Params { n: 16, k: 16, r_prime: 2, d }).3;
+        let f = |d| {
+            point(Params {
+                n: 16,
+                k: 16,
+                r_prime: 2,
+                d,
+            })
+            .3
+        };
         let d4 = f(4);
         let d8 = f(8);
         assert!(d8 > d4, "larger groups concentrate more: {d4} !< {d8}");

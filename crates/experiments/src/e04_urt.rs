@@ -17,7 +17,12 @@ use pps_traffic::min_burstiness;
 
 /// One sweep point; returns `(u', m, paper bound, exact bound, measured
 /// delay, measured jitter, burstiness, premise burstiness)`.
-pub fn point(n: usize, k: usize, r_prime: usize, u: Slot) -> (Slot, usize, u64, u64, i64, i64, u64, u64) {
+pub fn point(
+    n: usize,
+    k: usize,
+    r_prime: usize,
+    u: Slot,
+) -> (Slot, usize, u64, u64, i64, i64, u64, u64) {
     let cfg = PpsConfig::bufferless(n, k, r_prime);
     cfg.validate().expect("valid sweep point");
     let atk = urt_burst_attack(&cfg, u);
@@ -73,8 +78,7 @@ pub fn run() -> ExperimentOutput {
     }
     ExperimentOutput {
         id: "e4",
-        title: "Theorem 10 — u-RT lower bound (1-u'r/R)*u'N/S with burstiness u'^2 N/K - u'"
-            .into(),
+        title: "Theorem 10 — u-RT lower bound (1-u'r/R)*u'N/S with burstiness u'^2 N/K - u'".into(),
         tables: vec![table],
         notes: vec![
             "the burst is invisible to the stale global view, so all m inputs walk the \

@@ -28,8 +28,7 @@ pub fn run() -> ExperimentOutput {
     );
     let mut pass = true;
     for n in [16usize, 32, 64, 128] {
-        let (_u_eff, m, paper, exact, delay, jitter, b, premise) =
-            e04_urt::point(n, k, r_prime, 1);
+        let (_u_eff, m, paper, exact, delay, jitter, b, premise) = e04_urt::point(n, k, r_prime, 1);
         pass &= delay as u64 >= exact && jitter as u64 >= exact && b <= premise;
         table.row_display(&[
             n.to_string(),

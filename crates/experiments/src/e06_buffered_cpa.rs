@@ -25,7 +25,10 @@ fn workloads(n: usize, k: usize, r_prime: usize) -> Vec<(&'static str, Trace)> {
     )
     .trace;
     vec![
-        ("bernoulli-0.85", BernoulliGen::uniform(0.85, 42).trace(n, 2_000)),
+        (
+            "bernoulli-0.85",
+            BernoulliGen::uniform(0.85, 42).trace(n, 2_000),
+        ),
         (
             "onoff-bursty",
             OnOffGen::uniform(12.0, 0.7, 43).trace(n, 2_000),
@@ -34,7 +37,10 @@ fn workloads(n: usize, k: usize, r_prime: usize) -> Vec<(&'static str, Trace)> {
             "hotspot-0.5",
             BernoulliGen {
                 load: 0.6,
-                pattern: TrafficPattern::Hotspot { target: 0, hot: 0.5 },
+                pattern: TrafficPattern::Hotspot {
+                    target: 0,
+                    hot: 0.5,
+                },
                 seed: 44,
             }
             .trace(n, 1_500),

@@ -107,7 +107,8 @@ pub fn run() -> ExperimentOutput {
         let out = point(n, k, r_prime, h, duration);
         let warm = out.congestion_start;
         warmups.push((h, warm));
-        pass &= warm.is_some() && out.wc_violations == 0 && out.max_rank_delta <= 1 && out.ranks > 0;
+        pass &=
+            warm.is_some() && out.wc_violations == 0 && out.max_rank_delta <= 1 && out.ranks > 0;
         table.row_display(&[
             h.to_string(),
             warm.map_or("never".into(), |w| w.to_string()),
@@ -118,8 +119,7 @@ pub fn run() -> ExperimentOutput {
     }
     ExperimentOutput {
         id: "e8",
-        title: "Theorem 14 — extended FTD: zero relative queuing delay in congested periods"
-            .into(),
+        title: "Theorem 14 — extended FTD: zero relative queuing delay in congested periods".into(),
         tables: vec![table],
         notes: vec![
             "rank delta compares the slot of the k-th congested-window departure in \
@@ -147,7 +147,11 @@ mod tests {
         let out = point(8, 8, 2, 2, 400);
         assert!(out.congestion_start.is_some(), "congestion must set in");
         assert_eq!(out.wc_violations, 0, "output idled during congestion");
-        assert!(out.max_rank_delta <= 1, "PPS fell behind the reference: {}", out.max_rank_delta);
+        assert!(
+            out.max_rank_delta <= 1,
+            "PPS fell behind the reference: {}",
+            out.max_rank_delta
+        );
         assert!(out.ranks > 100);
     }
 

@@ -17,7 +17,12 @@ pub fn run() -> ExperimentOutput {
     let n = 16;
     let mut table = Table::new(
         "Proposition 15: minimal burstiness of congestion traffic vs duration (2 cells/slot)",
-        &["duration T", "predicted B = (rate-1)*T", "measured B_min", "B_min / T"],
+        &[
+            "duration T",
+            "predicted B = (rate-1)*T",
+            "measured B_min",
+            "B_min / T",
+        ],
     );
     let mut pass = true;
     let mut prev_b = 0u64;
@@ -35,8 +40,7 @@ pub fn run() -> ExperimentOutput {
     }
     ExperimentOutput {
         id: "e9",
-        title: "Proposition 15 — congestion traffic violates every fixed leaky-bucket bound"
-            .into(),
+        title: "Proposition 15 — congestion traffic violates every fixed leaky-bucket bound".into(),
         tables: vec![table],
         notes: vec![
             "B_min/T converges to rate-1: burstiness is proportional to the congested \

@@ -17,13 +17,22 @@ use pps_traffic::gen::{BernoulliGen, OnOffGen, TrafficPattern};
 fn workloads(n: usize, k: usize, r_prime: usize) -> Vec<(&'static str, Trace)> {
     let cfg = PpsConfig::bufferless(n, k, r_prime);
     vec![
-        ("bernoulli-0.95", BernoulliGen::uniform(0.95, 21).trace(n, 3_000)),
-        ("onoff-bursty", OnOffGen::uniform(16.0, 0.8, 22).trace(n, 3_000)),
+        (
+            "bernoulli-0.95",
+            BernoulliGen::uniform(0.95, 21).trace(n, 3_000),
+        ),
+        (
+            "onoff-bursty",
+            OnOffGen::uniform(16.0, 0.8, 22).trace(n, 3_000),
+        ),
         (
             "hotspot-0.6",
             BernoulliGen {
                 load: 0.5,
-                pattern: TrafficPattern::Hotspot { target: 3, hot: 0.6 },
+                pattern: TrafficPattern::Hotspot {
+                    target: 3,
+                    hot: 0.6,
+                },
                 seed: 23,
             }
             .trace(n, 2_000),
@@ -46,8 +55,8 @@ fn workloads(n: usize, k: usize, r_prime: usize) -> Vec<(&'static str, Trace)> {
 pub fn point(n: usize, k: usize, r_prime: usize, trace: &Trace) -> (i64, usize, u64) {
     let cfg = PpsConfig::bufferless(n, k, r_prime).with_discipline(OutputDiscipline::GlobalFcfs);
     cfg.validate().expect("valid point");
-    let pps = pps_switch::engine::BufferlessPps::new(cfg, CpaDemux::new(n, k, r_prime))
-        .expect("engine");
+    let pps =
+        pps_switch::engine::BufferlessPps::new(cfg, CpaDemux::new(n, k, r_prime)).expect("engine");
     // Run manually to read the demux statistic afterwards.
     let mut pps = pps;
     let run = pps.run(trace).expect("model-legal run");
@@ -63,7 +72,12 @@ pub fn run() -> ExperimentOutput {
     let (n, k, r_prime) = (16, 8, 4); // S = 2
     let mut table = Table::new(
         format!("CPA at N={n}, K={k}, r'={r_prime}, S=2 (claim: zero relative delay)"),
-        &["workload", "max rel delay", "undelivered", "deadline misses"],
+        &[
+            "workload",
+            "max rel delay",
+            "undelivered",
+            "deadline misses",
+        ],
     );
     let mut pass = true;
     for (name, trace) in workloads(n, k, r_prime) {
@@ -78,8 +92,7 @@ pub fn run() -> ExperimentOutput {
     }
     ExperimentOutput {
         id: "e10",
-        title: "CPA (Iyer et al. [14]) — centralized, S >= 2: zero relative queuing delay"
-            .into(),
+        title: "CPA (Iyer et al. [14]) — centralized, S >= 2: zero relative queuing delay".into(),
         tables: vec![table],
         notes: vec![
             "the attack traffics that force Omega(N) on distributed algorithms leave \

@@ -26,7 +26,12 @@ pub fn point(n: usize, k: usize, r_prime: usize) -> (usize, u64, i64, usize) {
     // "Large relative queuing delays usually imply that the buffer sizes at
     // the middle-stage switches … should be large as well": report the
     // measured plane-buffer high-water mark alongside.
-    (n, atk.model_exact_bound, rd.max, cmp.pps_stats().max_plane_queue)
+    (
+        n,
+        atk.model_exact_bound,
+        rd.max,
+        cmp.pps_stats().max_plane_queue,
+    )
 }
 
 /// Run the default sweep, in parallel across points.
@@ -38,12 +43,21 @@ pub fn run() -> ExperimentOutput {
             .iter()
             .map(|&n| s.spawn(move |_| point(n, k, r_prime)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("point")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("point"))
+            .collect()
     })
     .expect("scope");
     let mut table = Table::new(
         format!("Scaling to N=1024 at K={k}, r'={r_prime}, S=2 (slope should be ~ R/r-1 = 3)"),
-        &["N", "bound (exact)", "measured delay", "plane buffer HWM", "delay/N"],
+        &[
+            "N",
+            "bound (exact)",
+            "measured delay",
+            "plane buffer HWM",
+            "delay/N",
+        ],
     );
     let mut pass = true;
     for &(n, bound, delay, hwm) in &results {

@@ -36,13 +36,7 @@ fn stats(log: &RunLog) -> (f64, u64, usize) {
 /// One load point: `(oq, crossbar, pps_cpa, pps_rr)` as
 /// `(mean delay, max delay, undelivered)` triples.
 #[allow(clippy::type_complexity)]
-pub fn point(
-    n: usize,
-    k: usize,
-    r_prime: usize,
-    load: f64,
-    seed: u64,
-) -> [(f64, u64, usize); 4] {
+pub fn point(n: usize, k: usize, r_prime: usize, load: f64, seed: u64) -> [(f64, u64, usize); 4] {
     let trace = BernoulliGen::uniform(load, seed).trace(n, 3_000);
     let oq = run_oq(&trace, n);
     let xb = run_crossbar(&trace, n, 2);
@@ -83,13 +77,7 @@ pub fn run() -> ExperimentOutput {
         // CPA mimics FCFS-OQ: identical maxima.
         pass &= cpa.1 == oq.1;
         let fmt = |(mean, max, _): (f64, u64, usize)| format!("{mean:.2}/{max}");
-        table.row_display(&[
-            format!("{load}"),
-            fmt(oq),
-            fmt(xb),
-            fmt(cpa),
-            fmt(rr),
-        ]);
+        table.row_display(&[format!("{load}"), fmt(oq), fmt(xb), fmt(cpa), fmt(rr)]);
     }
     ExperimentOutput {
         id: "e13",
@@ -126,7 +114,10 @@ mod tests {
         let n = 8;
         let trace = BernoulliGen {
             load: 0.6,
-            pattern: TrafficPattern::Hotspot { target: 0, hot: 0.5 },
+            pattern: TrafficPattern::Hotspot {
+                target: 0,
+                hot: 0.5,
+            },
             seed: 5,
         }
         .trace(n, 2_000);

@@ -38,8 +38,7 @@ pub fn oblivious_burst(n: usize) -> Trace {
 /// `(max relative delay, concentration)`.
 pub fn oblivious_point(n: usize, k: usize, r_prime: usize, seed: u64) -> (i64, usize) {
     let cfg = PpsConfig::bufferless(n, k, r_prime);
-    let cmp = compare_bufferless(cfg, RandomDemux::new(n, seed), &oblivious_burst(n))
-        .expect("run");
+    let cmp = compare_bufferless(cfg, RandomDemux::new(n, seed), &oblivious_burst(n)).expect("run");
     let rd = cmp.relative_delay();
     assert_eq!(rd.pps_undelivered, 0);
     (rd.max, cmp.max_concentration())
@@ -105,10 +104,8 @@ pub fn run() -> ExperimentOutput {
         // Seed-aware adversary reaches the deterministic ceiling.
         let demux = RandomDemux::new(n, 424_242);
         let cfg = PpsConfig::bufferless(n, k, r_prime);
-        let aware =
-            concentration_attack(&demux, &cfg, &(0..n as u32).collect::<Vec<_>>(), 32 * k);
-        let aware_cmp =
-            compare_bufferless(cfg, demux, &aware.trace).expect("run");
+        let aware = concentration_attack(&demux, &cfg, &(0..n as u32).collect::<Vec<_>>(), 32 * k);
+        let aware_cmp = compare_bufferless(cfg, demux, &aware.trace).expect("run");
         let ceiling = aware_cmp.relative_delay().max;
         // Shape checks: (a) the oblivious distribution never exceeds the
         // seed-aware ceiling and is strictly positive in the mean; (b) the
@@ -117,7 +114,10 @@ pub fn run() -> ExperimentOutput {
         pass &= dist.min >= 0 && dist.mean > 0.0;
         pass &= dist.max <= ceiling;
         pass &= (dist.mean_concentration - predict).abs() < predict * 0.5;
-        pass &= ceiling as u64 >= aware.model_exact_bound.saturating_sub((r_prime as u64 - 1) * 2);
+        pass &= ceiling as u64
+            >= aware
+                .model_exact_bound
+                .saturating_sub((r_prime as u64 - 1) * 2);
         table.row_display(&[
             n.to_string(),
             format!("{predict:.1}"),

@@ -34,8 +34,8 @@ pub fn stale_point(n: usize, k: usize, r_prime: usize, u: Slot, hold: Slot) -> i
         cmp.relative_delay().max
     } else {
         let cfg = PpsConfig::buffered(n, k, r_prime, (hold as usize) + 1);
-        let cmp = compare_buffered(cfg, BufferedStaleDemux::new(n, k, u, hold), &atk.trace)
-            .expect("run");
+        let cmp =
+            compare_buffered(cfg, BufferedStaleDemux::new(n, k, u, hold), &atk.trace).expect("run");
         assert_eq!(cmp.relative_delay().pps_undelivered, 0);
         cmp.relative_delay().max
     }
@@ -44,10 +44,10 @@ pub fn stale_point(n: usize, k: usize, r_prime: usize, u: Slot, hold: Slot) -> i
 /// The Theorem 12 endpoint: delayed CPA with buffer = u on the same burst.
 pub fn cpa_point(n: usize, k: usize, r_prime: usize, u: Slot) -> i64 {
     let atk = urt_burst_attack(&PpsConfig::bufferless(n, k, r_prime), u);
-    let cfg =
-        PpsConfig::buffered(n, k, r_prime, u as usize).with_discipline(OutputDiscipline::GlobalFcfs);
-    let cmp = compare_buffered(cfg, DelayedCpaDemux::new(n, k, r_prime, u), &atk.trace)
-        .expect("run");
+    let cfg = PpsConfig::buffered(n, k, r_prime, u as usize)
+        .with_discipline(OutputDiscipline::GlobalFcfs);
+    let cmp =
+        compare_buffered(cfg, DelayedCpaDemux::new(n, k, r_prime, u), &atk.trace).expect("run");
     assert_eq!(cmp.relative_delay().pps_undelivered, 0);
     cmp.relative_delay().max
 }
@@ -62,7 +62,12 @@ pub fn run() -> ExperimentOutput {
              (u-RT bound: {} slots)",
             atk.model_exact_bound
         ),
-        &["algorithm", "hold/buffer", "measured rel delay", "bound status"],
+        &[
+            "algorithm",
+            "hold/buffer",
+            "measured rel delay",
+            "bound status",
+        ],
     );
     let mut pass = true;
     let mut stale_delays = Vec::new();
@@ -89,7 +94,11 @@ pub fn run() -> ExperimentOutput {
         format!("delayed-CPA (K={k_cpa}, S=2)"),
         format!("{u}"),
         d_cpa.to_string(),
-        if ok { "<= u (Thm 12)".into() } else { "VIOLATED".to_string() },
+        if ok {
+            "<= u (Thm 12)".into()
+        } else {
+            "VIOLATED".to_string()
+        },
     ]);
     ExperimentOutput {
         id: "e16",

@@ -70,8 +70,7 @@ pub fn run() -> ExperimentOutput {
     pass &= unregulated > 0;
     ExperimentOutput {
         id: "e18",
-        title: "§6 translation — the delay lower bound as a jitter-regulator buffer bound"
-            .into(),
+        title: "§6 translation — the delay lower bound as a jitter-regulator buffer bound".into(),
         tables: vec![table],
         notes: vec![
             format!(
@@ -99,7 +98,10 @@ mod tests {
         let tiny = regulate_online(&log, target, 1).achieved_jitter;
         let offline = regulate(&log, target);
         let roomy = regulate_online(&log, target, offline.buffer_required + 1).achieved_jitter;
-        assert!(tiny > 0, "a one-cell regulator cannot flatten Theta(N) jitter");
+        assert!(
+            tiny > 0,
+            "a one-cell regulator cannot flatten Theta(N) jitter"
+        );
         assert_eq!(roomy, 0, "the offline requirement suffices online too");
     }
 

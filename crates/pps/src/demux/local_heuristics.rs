@@ -164,7 +164,10 @@ mod tests {
             .flat_map(|i| (0..16).map(move |j| (i, j)))
             .map(|(i, j)| d.home_plane(i, j))
             .collect();
-        assert!(planes.len() >= 6, "hash should cover most planes: {planes:?}");
+        assert!(
+            planes.len() >= 6,
+            "hash should cover most planes: {planes:?}"
+        );
     }
 
     #[test]

@@ -13,11 +13,13 @@
 //! | [`cpa`] | centralized plane assignment | centralized | Iyer et al. \[14\] zero-delay upper bound (S ≥ 2) |
 //! | [`buffered`] | buffered RR, delayed CPA, arbitrated crossbar | input-buffered | Section 4: Theorems 12 & 13 |
 //! | [`local_heuristics`] | per-flow hashing, local least-loaded | fully distributed | ablation victims for Theorem 8's universality |
+//! | [`fault_aware`] | mask-aware round robin & least-loaded | centralized / `u`-RT | fail→recover ablation: reroute around planes believed down |
 
 pub mod buffered;
 pub mod cpa;
-pub mod local_heuristics;
+pub mod fault_aware;
 pub mod ftd;
+pub mod local_heuristics;
 pub mod per_flow_rr;
 pub mod random;
 pub mod round_robin;
@@ -26,8 +28,9 @@ pub mod static_partition;
 
 pub use buffered::{ArbitratedCrossbarDemux, BufferedRoundRobinDemux, DelayedCpaDemux};
 pub use cpa::CpaDemux;
-pub use local_heuristics::{HashFlowDemux, LeastLoadedLocalDemux};
+pub use fault_aware::{FaultAwareLeastLoadedDemux, FaultAwareRoundRobinDemux};
 pub use ftd::FtdDemux;
+pub use local_heuristics::{HashFlowDemux, LeastLoadedLocalDemux};
 pub use per_flow_rr::PerFlowRoundRobinDemux;
 pub use random::RandomDemux;
 pub use round_robin::RoundRobinDemux;

@@ -46,7 +46,10 @@ impl Demultiplexor for RandomDemux {
     fn dispatch(&mut self, cell: &Cell, ctx: &DispatchCtx<'_>) -> PlaneId {
         let i = cell.input.idx();
         let free_count = ctx.local.free_planes().count();
-        debug_assert!(free_count > 0, "valid bufferless config guarantees a free plane");
+        debug_assert!(
+            free_count > 0,
+            "valid bufferless config guarantees a free plane"
+        );
         let pick = self.rngs[i].random_range(0..free_count);
         let p = ctx
             .local

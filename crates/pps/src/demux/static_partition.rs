@@ -51,7 +51,10 @@ impl StaticPartitionDemux {
     /// used by `⌈N/g⌉ = ⌈N·r'/K⌉ = ⌈N/S⌉` inputs — the concentration the
     /// theorem exploits.
     pub fn minimal(n: usize, k: usize, r_prime: usize) -> Self {
-        assert!(k >= r_prime, "need K >= r' for a legal bufferless partition");
+        assert!(
+            k >= r_prime,
+            "need K >= r' for a legal bufferless partition"
+        );
         let groups = k / r_prime; // leftover planes stay unused — worst legal case
         let partition = (0..n)
             .map(|i| {

@@ -87,6 +87,44 @@ impl InfoBus {
     }
 }
 
+/// A scripted [`FaultPlan`] being replayed against a run: a cursor over the
+/// slot-ordered events. Applied at the very start of each slot, *before*
+/// the information bus snapshots, so a centralized demultiplexor observes a
+/// mask change in the same slot, a `u`-RT one `u` slots later, and a
+/// fully-distributed one never.
+#[derive(Clone, Debug, Default)]
+struct FaultSchedule {
+    events: Vec<FaultEvent>,
+    next: usize,
+}
+
+impl FaultSchedule {
+    fn set(&mut self, plan: &FaultPlan) {
+        self.events = plan.events().to_vec();
+        self.next = 0;
+    }
+
+    fn apply_due(&mut self, now: Slot, fabric: &mut Fabric) -> Result<(), ModelError> {
+        while let Some(ev) = self.events.get(self.next) {
+            if ev.activates_at() > now {
+                break;
+            }
+            match *ev {
+                FaultEvent::PlaneDown { plane, .. } => fabric.fail_plane(plane.idx())?,
+                FaultEvent::PlaneUp { plane, .. } => fabric.recover_plane(plane.idx())?,
+                FaultEvent::LinkDegraded {
+                    input,
+                    plane,
+                    until,
+                    ..
+                } => fabric.degrade_link(input.idx(), plane.idx(), until)?,
+            }
+            self.next += 1;
+        }
+        Ok(())
+    }
+}
+
 const NO_BUFFERS: [u32; 0] = [];
 
 /// A bufferless PPS driven by a [`Demultiplexor`].
@@ -94,6 +132,7 @@ pub struct BufferlessPps<D: Demultiplexor> {
     fabric: Fabric,
     demux: D,
     bus: InfoBus,
+    faults: FaultSchedule,
 }
 
 impl<D: Demultiplexor> BufferlessPps<D> {
@@ -111,6 +150,7 @@ impl<D: Demultiplexor> BufferlessPps<D> {
             fabric: Fabric::new(cfg),
             demux,
             bus,
+            faults: FaultSchedule::default(),
         })
     }
 
@@ -124,9 +164,24 @@ impl<D: Demultiplexor> BufferlessPps<D> {
         &self.fabric
     }
 
-    /// Fault-injection: fail plane `plane` from now on.
-    pub fn fail_plane(&mut self, plane: usize) {
-        self.fabric.fail_plane(plane);
+    /// Fault-injection: fail plane `plane` from now on. Out-of-range plane
+    /// indices are rejected, not a panic.
+    pub fn fail_plane(&mut self, plane: usize) -> Result<(), ModelError> {
+        self.fabric.fail_plane(plane)
+    }
+
+    /// Fault-injection: bring a failed plane back into service.
+    pub fn recover_plane(&mut self, plane: usize) -> Result<(), ModelError> {
+        self.fabric.recover_plane(plane)
+    }
+
+    /// Replay `plan` during the next [`run`](Self::run): each event takes
+    /// effect at the start of its slot. Validates the plan against the
+    /// switch geometry.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), ModelError> {
+        plan.validate(self.fabric.cfg())?;
+        self.faults.set(plan);
+        Ok(())
     }
 
     /// Advance one slot: dispatch this slot's arrivals, serve the planes,
@@ -137,11 +192,26 @@ impl<D: Demultiplexor> BufferlessPps<D> {
         arrivals: &[Cell],
         log: &mut RunLog,
     ) -> Result<(), ModelError> {
+        self.faults.apply_due(now, &mut self.fabric)?;
         self.bus.begin_slot(now, &self.fabric, &NO_BUFFERS);
         self.demux.on_slot(now, self.bus.view(now));
         for cell in arrivals {
             debug_assert_eq!(cell.arrival, now);
             self.fabric.register_arrival(cell);
+            // Under link degradation an input can find *every* line busy —
+            // the K >= r' guarantee only covers ordinary occupancy. A
+            // bufferless input has nowhere to hold the cell: it is lost at
+            // the first stage rather than reported as an algorithm bug.
+            let any_free = self
+                .fabric
+                .local_view(cell.input, now)
+                .free_planes()
+                .next()
+                .is_some();
+            if !any_free {
+                self.fabric.drop_at_input(cell);
+                continue;
+            }
             let plane = {
                 let ctx = DispatchCtx {
                     local: self.fabric.local_view(cell.input, now),
@@ -195,6 +265,7 @@ pub struct BufferedPps<D: BufferedDemultiplexor> {
     fabric: Fabric,
     demux: D,
     bus: InfoBus,
+    faults: FaultSchedule,
     buffers: Vec<std::collections::VecDeque<Cell>>,
     buffer_live: Vec<u32>,
     capacity: usize,
@@ -218,7 +289,10 @@ impl<D: BufferedDemultiplexor> BufferedPps<D> {
             fabric: Fabric::new(cfg),
             demux,
             bus,
-            buffers: (0..cfg.n).map(|_| std::collections::VecDeque::new()).collect(),
+            faults: FaultSchedule::default(),
+            buffers: (0..cfg.n)
+                .map(|_| std::collections::VecDeque::new())
+                .collect(),
             buffer_live: vec![0; cfg.n],
             capacity,
             max_buffer_occupancy: 0,
@@ -240,6 +314,25 @@ impl<D: BufferedDemultiplexor> BufferedPps<D> {
         self.max_buffer_occupancy
     }
 
+    /// Fault-injection: fail plane `plane` from now on. Out-of-range plane
+    /// indices are rejected, not a panic.
+    pub fn fail_plane(&mut self, plane: usize) -> Result<(), ModelError> {
+        self.fabric.fail_plane(plane)
+    }
+
+    /// Fault-injection: bring a failed plane back into service.
+    pub fn recover_plane(&mut self, plane: usize) -> Result<(), ModelError> {
+        self.fabric.recover_plane(plane)
+    }
+
+    /// Replay `plan` during the next [`run`](Self::run); see
+    /// [`BufferlessPps::set_fault_plan`].
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), ModelError> {
+        plan.validate(self.fabric.cfg())?;
+        self.faults.set(plan);
+        Ok(())
+    }
+
     /// Advance one slot. `arrivals` must be sorted by input port (as
     /// produced by [`Trace::cells`]); the demultiplexor is consulted per
     /// input in port order, matching the global-FCFS tie-break.
@@ -249,12 +342,11 @@ impl<D: BufferedDemultiplexor> BufferedPps<D> {
         arrivals: &[Cell],
         log: &mut RunLog,
     ) -> Result<(), ModelError> {
+        self.faults.apply_due(now, &mut self.fabric)?;
         self.bus.begin_slot(now, &self.fabric, &self.buffer_live);
         let mut arr_iter = arrivals.iter().peekable();
         for input in 0..self.fabric.cfg().n {
-            let arrival = arr_iter
-                .next_if(|c| c.input.idx() == input)
-                .copied();
+            let arrival = arr_iter.next_if(|c| c.input.idx() == input).copied();
             if arrival.is_none() && self.buffers[input].is_empty() {
                 continue;
             }
@@ -300,10 +392,12 @@ impl<D: BufferedDemultiplexor> BufferedPps<D> {
             }
         }
         for (idx, plane) in releases {
-            let cell = self.buffers[input].remove(idx).ok_or(ModelError::BadBufferIndex {
-                input: PortId(input as u32),
-                index: idx,
-            })?;
+            let cell = self.buffers[input]
+                .remove(idx)
+                .ok_or(ModelError::BadBufferIndex {
+                    input: PortId(input as u32),
+                    index: idx,
+                })?;
             self.buffer_live[input] -= 1;
             self.fabric.dispatch(cell, plane, now, log)?;
         }
@@ -390,4 +484,30 @@ pub fn run_buffered<D: BufferedDemultiplexor>(
     trace: &Trace,
 ) -> Result<PpsRun, ModelError> {
     BufferedPps::new(cfg, demux)?.run(trace)
+}
+
+/// Convenience: run `trace` through a fresh bufferless PPS while replaying
+/// the scripted `faults`.
+pub fn run_bufferless_with_faults<D: Demultiplexor>(
+    cfg: PpsConfig,
+    demux: D,
+    trace: &Trace,
+    faults: &FaultPlan,
+) -> Result<PpsRun, ModelError> {
+    let mut pps = BufferlessPps::new(cfg, demux)?;
+    pps.set_fault_plan(faults)?;
+    pps.run(trace)
+}
+
+/// Convenience: run `trace` through a fresh input-buffered PPS while
+/// replaying the scripted `faults`.
+pub fn run_buffered_with_faults<D: BufferedDemultiplexor>(
+    cfg: PpsConfig,
+    demux: D,
+    trace: &Trace,
+    faults: &FaultPlan,
+) -> Result<PpsRun, ModelError> {
+    let mut pps = BufferedPps::new(cfg, demux)?;
+    pps.set_fault_plan(faults)?;
+    pps.run(trace)
 }

@@ -21,6 +21,14 @@ pub struct FabricStats {
     pub max_output_held: usize,
     /// Cells lost to failed planes (fault-injection runs only).
     pub dropped: u64,
+    /// Cells the resequencer watchdogs skipped past (declared lost).
+    pub skipped: u64,
+    /// Slots in which an output mux held cells but emitted nothing, summed
+    /// over outputs — the head-of-line-blocking exposure of the run.
+    pub stalled_slots: u64,
+    /// Cells that arrived at an output after the watchdog had skipped past
+    /// them and were discarded to preserve emission order.
+    pub late_dropped: u64,
     /// Total transmissions on input→plane lines.
     pub input_line_uses: u64,
     /// Total transmissions on plane→output lines.
@@ -59,7 +67,13 @@ impl Fabric {
             in_links: LinkBank::new(n, k, cfg.r_prime, LinkSide::InputToPlane),
             out_links: LinkBank::new(k, n, cfg.r_prime, LinkSide::PlaneToOutput),
             planes: (0..k).map(|_| Plane::new(n)).collect(),
-            outputs: (0..n).map(|_| OutputMux::new(n, cfg.discipline)).collect(),
+            outputs: (0..n)
+                .map(|_| {
+                    let mut mux = OutputMux::new(n, cfg.discipline);
+                    mux.set_watchdog(cfg.watchdog);
+                    mux
+                })
+                .collect(),
             agenda: BinaryHeap::new(),
             scheduled: vec![false; k * n],
             active_list: Vec::with_capacity(n),
@@ -131,8 +145,7 @@ impl Fabric {
         let idx = plane * self.cfg.n + output;
         if !self.scheduled[idx] {
             self.scheduled[idx] = true;
-            self.agenda
-                .push(Reverse((at, plane as u32, output as u32)));
+            self.agenda.push(Reverse((at, plane as u32, output as u32)));
         }
     }
 
@@ -159,11 +172,12 @@ impl Fabric {
             let cell = self.planes[p].pop_for(j).expect("non-empty checked");
             self.out_links.acquire(p, j, now)?;
             self.plane_len_live[p * self.cfg.n + j] -= 1;
-            self.output_pending_live[j] += 1;
-            self.outputs[j].deliver(cell);
-            if !self.active_flag[j] {
-                self.active_flag[j] = true;
-                self.active_list.push(j as u32);
+            if self.outputs[j].deliver(cell, now) {
+                self.output_pending_live[j] += 1;
+                if !self.active_flag[j] {
+                    self.active_flag[j] = true;
+                    self.active_list.push(j as u32);
+                }
             }
             if self.planes[p].queue_len(j) > 0 {
                 self.schedule(p, j, now + self.cfg.r_prime as Slot);
@@ -178,7 +192,7 @@ impl Fabric {
         for read in 0..self.active_list.len() {
             let j = self.active_list[read];
             let mux = &mut self.outputs[j as usize];
-            if let Some(cell) = mux.emit() {
+            if let Some(cell) = mux.emit(now) {
                 self.output_pending_live[j as usize] -= 1;
                 log.set_departure(cell.id, now);
             }
@@ -195,11 +209,7 @@ impl Fabric {
     /// Total cells inside the fabric (plane queues + output muxes).
     pub fn backlog(&self) -> usize {
         self.planes.iter().map(|p| p.backlog()).sum::<usize>()
-            + self
-                .outputs
-                .iter()
-                .map(|o| o.held())
-                .sum::<usize>()
+            + self.outputs.iter().map(|o| o.held()).sum::<usize>()
     }
 
     /// Whether every plane buffer for `output` is currently non-empty — the
@@ -208,9 +218,78 @@ impl Fabric {
         self.planes.iter().all(|p| p.queue_len(output) > 0)
     }
 
-    /// Mark plane `plane` failed (fault-injection).
-    pub fn fail_plane(&mut self, plane: usize) {
-        self.planes[plane].fail();
+    /// Mark plane `plane` failed (fault-injection). Cells already queued
+    /// inside the plane are lost with it: they are counted dropped and
+    /// unregistered from the GlobalFcfs straggler tracking so outputs do
+    /// not wait for them forever.
+    pub fn fail_plane(&mut self, plane: usize) -> Result<(), ModelError> {
+        self.check_plane(plane)?;
+        for cell in self.planes[plane].fail() {
+            let j = cell.output.idx();
+            self.plane_len_live[plane * self.cfg.n + j] -= 1;
+            self.dropped += 1;
+            if self.cfg.discipline == OutputDiscipline::GlobalFcfs {
+                self.outputs[j].unregister_in_flight(cell.id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Bring a failed plane back into service. It restarts empty; cells
+    /// lost to the failure are not restored.
+    pub fn recover_plane(&mut self, plane: usize) -> Result<(), ModelError> {
+        self.check_plane(plane)?;
+        self.planes[plane].recover();
+        Ok(())
+    }
+
+    /// Degrade the `input → plane` line: it presents as busy through slot
+    /// `until` (exclusive) to the input's local view and rejects dispatch.
+    pub fn degrade_link(
+        &mut self,
+        input: usize,
+        plane: usize,
+        until: Slot,
+    ) -> Result<(), ModelError> {
+        self.check_plane(plane)?;
+        if input >= self.cfg.n {
+            return Err(ModelError::InvalidConfig {
+                reason: format!("input {input} out of range for N = {}", self.cfg.n),
+            });
+        }
+        self.in_links.degrade(input, plane, until);
+        Ok(())
+    }
+
+    fn check_plane(&self, plane: usize) -> Result<(), ModelError> {
+        if plane >= self.cfg.k {
+            return Err(ModelError::InvalidConfig {
+                reason: format!("plane {plane} out of range for K = {}", self.cfg.k),
+            });
+        }
+        Ok(())
+    }
+
+    /// Record a cell lost at the first stage: a bufferless input with no
+    /// usable line (possible only under link degradation) has nowhere to
+    /// hold it.
+    pub fn drop_at_input(&mut self, cell: &Cell) {
+        self.dropped += 1;
+        if self.cfg.discipline == OutputDiscipline::GlobalFcfs {
+            self.outputs[cell.output.idx()].unregister_in_flight(cell.id);
+        }
+    }
+
+    /// Current up/down state of the planes, as observable by the
+    /// information bus.
+    pub fn plane_mask(&self) -> PlaneMask {
+        let mut mask = PlaneMask::all_up(self.cfg.k);
+        for (p, plane) in self.planes.iter().enumerate() {
+            if plane.is_failed() {
+                mask.set_up(p, false);
+            }
+        }
+        mask
     }
 
     /// Build the observable global snapshot at `taken_at`.
@@ -222,6 +301,7 @@ impl Fabric {
             plane_queue_len: self.plane_len_live.clone().into_boxed_slice(),
             input_buffer_len: input_buffer_len.to_vec().into_boxed_slice(),
             output_pending: self.output_pending_live.clone().into_boxed_slice(),
+            plane_mask: self.plane_mask(),
         }
     }
 
@@ -237,6 +317,9 @@ impl Fabric {
                 .unwrap_or(0),
             max_output_held: self.outputs.iter().map(|o| o.max_held()).max().unwrap_or(0),
             dropped: self.dropped,
+            skipped: self.outputs.iter().map(|o| o.skipped()).sum(),
+            stalled_slots: self.outputs.iter().map(|o| o.stalled_slots()).sum(),
+            late_dropped: self.outputs.iter().map(|o| o.late_dropped()).sum(),
             input_line_uses: self.in_links.acquisitions(),
             output_line_uses: self.out_links.acquisitions(),
         }
@@ -268,7 +351,8 @@ mod tests {
     #[test]
     fn same_slot_passthrough() {
         let (mut f, mut log) = setup(2, 2, 2);
-        f.dispatch(cell(0, 0, 0, 0), PlaneId(0), 0, &mut log).unwrap();
+        f.dispatch(cell(0, 0, 0, 0), PlaneId(0), 0, &mut log)
+            .unwrap();
         f.service(0).unwrap();
         f.emit(0, &mut log);
         assert_eq!(log.get(CellId(0)).departure, Some(0));
@@ -281,8 +365,10 @@ mod tests {
         // Two cells to the same output through the same plane: second
         // delivery waits r' slots — the concentration bottleneck of Lemma 4.
         let (mut f, mut log) = setup(2, 2, 3);
-        f.dispatch(cell(0, 0, 0, 0), PlaneId(0), 0, &mut log).unwrap();
-        f.dispatch(cell(1, 1, 0, 0), PlaneId(0), 0, &mut log).unwrap();
+        f.dispatch(cell(0, 0, 0, 0), PlaneId(0), 0, &mut log)
+            .unwrap();
+        f.dispatch(cell(1, 1, 0, 0), PlaneId(0), 0, &mut log)
+            .unwrap();
         for now in 0..=3 {
             f.service(now).unwrap();
             f.emit(now, &mut log);
@@ -294,13 +380,15 @@ mod tests {
     #[test]
     fn input_constraint_is_enforced() {
         let (mut f, mut log) = setup(2, 2, 2);
-        f.dispatch(cell(0, 0, 0, 0), PlaneId(0), 0, &mut log).unwrap();
+        f.dispatch(cell(0, 0, 0, 0), PlaneId(0), 0, &mut log)
+            .unwrap();
         let err = f
             .dispatch(cell(1, 0, 1, 1), PlaneId(0), 1, &mut log)
             .unwrap_err();
         assert!(matches!(err, ModelError::InputConstraintViolation { .. }));
         // A different plane is fine.
-        f.dispatch(cell(2, 0, 1, 1), PlaneId(1), 1, &mut log).unwrap();
+        f.dispatch(cell(2, 0, 1, 1), PlaneId(1), 1, &mut log)
+            .unwrap();
     }
 
     #[test]
@@ -315,8 +403,10 @@ mod tests {
     #[test]
     fn two_planes_drain_in_parallel() {
         let (mut f, mut log) = setup(2, 2, 2);
-        f.dispatch(cell(0, 0, 0, 0), PlaneId(0), 0, &mut log).unwrap();
-        f.dispatch(cell(1, 1, 0, 0), PlaneId(1), 0, &mut log).unwrap();
+        f.dispatch(cell(0, 0, 0, 0), PlaneId(0), 0, &mut log)
+            .unwrap();
+        f.dispatch(cell(1, 1, 0, 0), PlaneId(1), 0, &mut log)
+            .unwrap();
         f.service(0).unwrap();
         f.emit(0, &mut log);
         f.service(1).unwrap();
@@ -330,8 +420,9 @@ mod tests {
     #[test]
     fn failed_plane_drops_and_counts() {
         let (mut f, mut log) = setup(2, 2, 2);
-        f.fail_plane(1);
-        f.dispatch(cell(0, 0, 0, 0), PlaneId(1), 0, &mut log).unwrap();
+        f.fail_plane(1).unwrap();
+        f.dispatch(cell(0, 0, 0, 0), PlaneId(1), 0, &mut log)
+            .unwrap();
         f.service(0).unwrap();
         f.emit(0, &mut log);
         assert_eq!(log.get(CellId(0)).departure, None);
@@ -340,11 +431,91 @@ mod tests {
     }
 
     #[test]
+    fn fail_plane_out_of_range_is_an_error_not_a_panic() {
+        let (mut f, _) = setup(2, 2, 2);
+        assert!(matches!(
+            f.fail_plane(2),
+            Err(ModelError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            f.recover_plane(7),
+            Err(ModelError::InvalidConfig { .. })
+        ));
+        assert_eq!(f.stats().dropped, 0);
+    }
+
+    #[test]
+    fn mid_run_failure_flushes_queued_cells() {
+        // Two cells queued behind each other in plane 0 for output 0; fail
+        // the plane after the first has been delivered but before the
+        // second can be (r' = 3 holds the line).
+        let (mut f, mut log) = setup(2, 2, 3);
+        f.dispatch(cell(0, 0, 0, 0), PlaneId(0), 0, &mut log)
+            .unwrap();
+        f.dispatch(cell(1, 1, 0, 0), PlaneId(0), 0, &mut log)
+            .unwrap();
+        f.service(0).unwrap();
+        f.emit(0, &mut log);
+        assert_eq!(log.get(CellId(0)).departure, Some(0));
+        f.fail_plane(0).unwrap();
+        for now in 1..=6 {
+            f.service(now).unwrap();
+            f.emit(now, &mut log);
+        }
+        assert_eq!(log.get(CellId(1)).departure, None);
+        assert_eq!(f.stats().dropped, 1);
+        assert_eq!(f.backlog(), 0);
+    }
+
+    #[test]
+    fn recovered_plane_carries_again() {
+        let (mut f, mut log) = setup(2, 2, 2);
+        f.fail_plane(0).unwrap();
+        f.dispatch(cell(0, 0, 0, 0), PlaneId(0), 0, &mut log)
+            .unwrap();
+        f.recover_plane(0).unwrap();
+        // The input line is still occupied by the (lost) slot-0 dispatch.
+        f.dispatch(cell(1, 0, 0, 2), PlaneId(0), 2, &mut log)
+            .unwrap();
+        f.service(2).unwrap();
+        f.emit(2, &mut log);
+        assert_eq!(log.get(CellId(0)).departure, None);
+        assert_eq!(log.get(CellId(1)).departure, Some(2));
+        assert_eq!(f.stats().dropped, 1);
+    }
+
+    #[test]
+    fn degraded_link_rejects_dispatch_and_shows_busy() {
+        let (mut f, mut log) = setup(2, 2, 2);
+        f.degrade_link(0, 1, 10).unwrap();
+        assert!(!f.local_view(PortId(0), 5).is_free(1));
+        assert!(f
+            .dispatch(cell(0, 0, 0, 5), PlaneId(1), 5, &mut log)
+            .is_err());
+        assert!(f.degrade_link(0, 9, 10).is_err());
+        assert!(f.degrade_link(9, 0, 10).is_err());
+    }
+
+    #[test]
+    fn snapshot_reports_plane_mask() {
+        let (mut f, _) = setup(2, 2, 2);
+        assert!(!f.snapshot(0, &[0, 0]).plane_mask.any_down());
+        f.fail_plane(1).unwrap();
+        let snap = f.snapshot(1, &[0, 0]);
+        assert!(snap.plane_mask.is_up(0));
+        assert!(!snap.plane_mask.is_up(1));
+        f.recover_plane(1).unwrap();
+        assert!(!f.snapshot(2, &[0, 0]).plane_mask.any_down());
+    }
+
+    #[test]
     fn congestion_predicate() {
         let (mut f, mut log) = setup(2, 2, 2);
         assert!(!f.all_planes_backlogged_for(0));
-        f.dispatch(cell(0, 0, 0, 0), PlaneId(0), 0, &mut log).unwrap();
-        f.dispatch(cell(1, 1, 0, 0), PlaneId(1), 0, &mut log).unwrap();
+        f.dispatch(cell(0, 0, 0, 0), PlaneId(0), 0, &mut log)
+            .unwrap();
+        f.dispatch(cell(1, 1, 0, 0), PlaneId(1), 0, &mut log)
+            .unwrap();
         assert!(f.all_planes_backlogged_for(0));
     }
 }

@@ -51,6 +51,12 @@ pub struct OutputMux {
     reorder: Vec<BTreeMap<u32, Cell>>,
     /// FlowFifo: next expected sequence number per input.
     next_seq: Vec<u32>,
+    /// FlowFifo: cells of each input currently in `eligible` (a flow with
+    /// an eligible cell is progressing, not gap-blocked).
+    eligible_count: Vec<u32>,
+    /// FlowFifo: slot since which each input's flow has been gap-blocked
+    /// (cells in reorder, none eligible) — the watchdog's per-flow timer.
+    blocked_since: Vec<Option<Slot>>,
     /// GlobalFcfs: ids of cells bound for this output that are inside the
     /// switch but have not yet been emitted (registered at dispatch time).
     in_flight: BTreeSet<CellId>,
@@ -62,6 +68,18 @@ pub struct OutputMux {
     max_held: usize,
     /// Total emitted.
     emitted: u64,
+    /// Resequencer watchdog: skip ahead after this many consecutive
+    /// stalled slots (`None` disables).
+    watchdog: Option<Slot>,
+    /// First slot of the current stall (held cells but nothing emitted).
+    stalled_since: Option<Slot>,
+    /// Cells the watchdog declared lost (skipped past).
+    skipped: u64,
+    /// Slots in which the mux held cells but emitted nothing.
+    stalled_slots: u64,
+    /// Cells that arrived after the watchdog had skipped past them and
+    /// were discarded to preserve the already-emitted order.
+    late_dropped: u64,
 }
 
 impl OutputMux {
@@ -72,12 +90,26 @@ impl OutputMux {
             eligible: BinaryHeap::new(),
             reorder: (0..n).map(|_| BTreeMap::new()).collect(),
             next_seq: vec![0; n],
+            eligible_count: vec![0; n],
+            blocked_since: vec![None; n],
             in_flight: BTreeSet::new(),
             present: BTreeMap::new(),
             held: 0,
             max_held: 0,
             emitted: 0,
+            watchdog: None,
+            stalled_since: None,
+            skipped: 0,
+            stalled_slots: 0,
+            late_dropped: 0,
         }
+    }
+
+    /// Configure the resequencer watchdog (see [`PpsConfig::watchdog`]):
+    /// after `timeout` consecutive slots in which cells are held but none
+    /// can be emitted, the mux skips past the missing cell(s).
+    pub fn set_watchdog(&mut self, timeout: Option<Slot>) {
+        self.watchdog = timeout;
     }
 
     /// GlobalFcfs only: register that `id` has entered the switch bound for
@@ -97,39 +129,131 @@ impl OutputMux {
         self.in_flight.remove(&id);
     }
 
-    /// A plane delivered `cell` to this output.
-    pub fn deliver(&mut self, cell: Cell) {
-        self.held += 1;
-        self.max_held = self.max_held.max(self.held);
+    /// A plane delivered `cell` to this output in slot `now`. Returns
+    /// `false` if the cell was discarded as *late*: the watchdog had
+    /// already skipped past it, so emitting it now would reorder cells
+    /// already sent on the external line. (Without a watchdog every
+    /// delivery is accepted.)
+    pub fn deliver(&mut self, cell: Cell, now: Slot) -> bool {
         match self.discipline {
             OutputDiscipline::FlowFifo => {
                 let i = cell.input.idx();
+                if cell.seq < self.next_seq[i] {
+                    self.late_dropped += 1;
+                    return false;
+                }
+                self.held += 1;
+                self.max_held = self.max_held.max(self.held);
                 if cell.seq == self.next_seq[i] {
-                    self.eligible.push(Reverse(Eligible((cell.arrival, cell.id), cell)));
+                    self.push_eligible(cell);
                 } else {
                     self.reorder[i].insert(cell.seq, cell);
                 }
+                self.refresh_gap(i, now);
             }
             OutputDiscipline::GlobalFcfs => {
+                if !self.in_flight.contains(&cell.id) {
+                    self.late_dropped += 1;
+                    return false;
+                }
+                self.held += 1;
+                self.max_held = self.max_held.max(self.held);
                 self.present.insert(cell.id, cell);
             }
             OutputDiscipline::Greedy => {
-                self.eligible.push(Reverse(Eligible((cell.arrival, cell.id), cell)));
+                self.held += 1;
+                self.max_held = self.max_held.max(self.held);
+                self.eligible
+                    .push(Reverse(Eligible((cell.arrival, cell.id), cell)));
             }
+        }
+        true
+    }
+
+    fn push_eligible(&mut self, cell: Cell) {
+        if self.discipline == OutputDiscipline::FlowFifo {
+            self.eligible_count[cell.input.idx()] += 1;
+        }
+        self.eligible
+            .push(Reverse(Eligible((cell.arrival, cell.id), cell)));
+    }
+
+    /// Restart or clear input `i`'s gap timer: the flow is gap-blocked iff
+    /// it has cells waiting in reorder and none eligible (an eligible cell
+    /// means the flow is progressing — it will emit and advance `next_seq`).
+    fn refresh_gap(&mut self, i: usize, now: Slot) {
+        if self.reorder[i].is_empty() || self.eligible_count[i] > 0 {
+            self.blocked_since[i] = None;
+        } else if self.blocked_since[i].is_none() {
+            self.blocked_since[i] = Some(now);
         }
     }
 
-    /// Emit at most one cell this slot, per the discipline.
-    pub fn emit(&mut self) -> Option<Cell> {
+    /// Emit at most one cell in slot `now`, per the discipline. Tracks
+    /// stalls (held cells, nothing emittable) and, when the watchdog is
+    /// armed, skips past missing cells after the configured timeout —
+    /// per-flow for FlowFifo (a gap must not wait behind other flows'
+    /// emissions), whole-mux for GlobalFcfs (where a straggler blocks
+    /// everything by definition).
+    pub fn emit(&mut self, now: Slot) -> Option<Cell> {
+        if self.watchdog.is_some() && self.discipline == OutputDiscipline::FlowFifo {
+            self.expire_gaps(now);
+        }
+        if let Some(cell) = self.try_emit(now) {
+            self.stalled_since = None;
+            return Some(cell);
+        }
+        if self.held == 0 {
+            self.stalled_since = None;
+            return None;
+        }
+        self.stalled_slots += 1;
+        let since = *self.stalled_since.get_or_insert(now);
+        if let Some(limit) = self.watchdog {
+            if self.discipline == OutputDiscipline::GlobalFcfs && now - since + 1 >= limit {
+                self.skip_stragglers();
+                self.stalled_since = None;
+                return self.try_emit(now);
+            }
+        }
+        None
+    }
+
+    /// FlowFifo watchdog: skip past the gap of every flow that has been
+    /// blocked for the timeout, making its waiting head eligible.
+    fn expire_gaps(&mut self, now: Slot) {
+        let limit = self.watchdog.expect("caller checked");
+        for i in 0..self.blocked_since.len() {
+            let Some(since) = self.blocked_since[i] else {
+                continue;
+            };
+            if now - since + 1 < limit {
+                continue;
+            }
+            let (&seq, _) = self.reorder[i]
+                .first_key_value()
+                .expect("blocked flows have waiting cells");
+            // The gap [next_seq, seq) is declared lost.
+            self.skipped += u64::from(seq - self.next_seq[i]);
+            self.next_seq[i] = seq;
+            let head = self.reorder[i].remove(&seq).unwrap();
+            self.push_eligible(head);
+            self.refresh_gap(i, now);
+        }
+    }
+
+    fn try_emit(&mut self, now: Slot) -> Option<Cell> {
         let cell = match self.discipline {
             OutputDiscipline::FlowFifo => {
                 let Reverse(Eligible(_, cell)) = self.eligible.pop()?;
                 let i = cell.input.idx();
+                self.eligible_count[i] -= 1;
                 self.next_seq[i] = cell.seq + 1;
                 // The successor may now be eligible.
                 if let Some(next) = self.reorder[i].remove(&self.next_seq[i]) {
-                    self.eligible.push(Reverse(Eligible((next.arrival, next.id), next)));
+                    self.push_eligible(next);
                 }
+                self.refresh_gap(i, now);
                 cell
             }
             OutputDiscipline::GlobalFcfs => {
@@ -156,6 +280,23 @@ impl OutputMux {
         Some(cell)
     }
 
+    /// GlobalFcfs watchdog: abandon in-flight registrations older than the
+    /// oldest present cell — they are the stragglers blocking emission.
+    /// Called by [`emit`](Self::emit) once a whole-mux stall outlives the
+    /// watchdog timeout.
+    fn skip_stragglers(&mut self) {
+        let Some(&oldest_present) = self.present.keys().next() else {
+            return;
+        };
+        while let Some(&oldest) = self.in_flight.first() {
+            if oldest >= oldest_present {
+                break;
+            }
+            self.in_flight.pop_first();
+            self.skipped += 1;
+        }
+    }
+
     /// Cells currently held at the mux.
     pub fn held(&self) -> usize {
         self.held
@@ -175,6 +316,22 @@ impl OutputMux {
     /// Total cells emitted.
     pub fn emitted(&self) -> u64 {
         self.emitted
+    }
+
+    /// Cells the watchdog skipped past (declared lost).
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Slots in which cells were held but nothing could be emitted.
+    pub fn stalled_slots(&self) -> u64 {
+        self.stalled_slots
+    }
+
+    /// Cells discarded on delivery because the watchdog had already skipped
+    /// past them.
+    pub fn late_dropped(&self) -> u64 {
+        self.late_dropped
     }
 }
 
@@ -196,30 +353,30 @@ mod tests {
     fn flow_fifo_resequences_within_flow() {
         let mut m = OutputMux::new(2, OutputDiscipline::FlowFifo);
         // Flow from input 0 delivered out of order: seq 1 first.
-        m.deliver(cell(1, 0, 1, 1));
-        assert_eq!(m.emit(), None); // seq 0 missing — blocked
-        m.deliver(cell(0, 0, 0, 0));
-        assert_eq!(m.emit().unwrap().id, CellId(0));
-        assert_eq!(m.emit().unwrap().id, CellId(1));
-        assert_eq!(m.emit(), None);
+        assert!(m.deliver(cell(1, 0, 1, 1), 0));
+        assert_eq!(m.emit(0), None); // seq 0 missing — blocked
+        assert!(m.deliver(cell(0, 0, 0, 0), 1));
+        assert_eq!(m.emit(1).unwrap().id, CellId(0));
+        assert_eq!(m.emit(2).unwrap().id, CellId(1));
+        assert_eq!(m.emit(3), None);
     }
 
     #[test]
     fn flow_fifo_does_not_block_other_flows() {
         let mut m = OutputMux::new(2, OutputDiscipline::FlowFifo);
-        m.deliver(cell(5, 0, 1, 5)); // blocked: waits for seq 0 of input 0
-        m.deliver(cell(7, 1, 0, 7)); // eligible
-        assert_eq!(m.emit().unwrap().id, CellId(7));
-        assert_eq!(m.emit(), None);
+        m.deliver(cell(5, 0, 1, 5), 0); // blocked: waits for seq 0 of input 0
+        m.deliver(cell(7, 1, 0, 7), 0); // eligible
+        assert_eq!(m.emit(0).unwrap().id, CellId(7));
+        assert_eq!(m.emit(1), None);
         assert_eq!(m.held(), 1);
     }
 
     #[test]
     fn flow_fifo_prefers_earliest_arrival() {
         let mut m = OutputMux::new(2, OutputDiscipline::FlowFifo);
-        m.deliver(cell(9, 1, 0, 9));
-        m.deliver(cell(3, 0, 0, 3));
-        assert_eq!(m.emit().unwrap().id, CellId(3));
+        m.deliver(cell(9, 1, 0, 9), 9);
+        m.deliver(cell(3, 0, 0, 3), 9);
+        assert_eq!(m.emit(9).unwrap().id, CellId(3));
     }
 
     #[test]
@@ -227,31 +384,112 @@ mod tests {
         let mut m = OutputMux::new(2, OutputDiscipline::GlobalFcfs);
         m.register_in_flight(CellId(1));
         m.register_in_flight(CellId(2));
-        m.deliver(cell(2, 1, 0, 0));
+        m.deliver(cell(2, 1, 0, 0), 0);
         // Cell 1 is still in a plane: the mux must idle.
-        assert_eq!(m.emit(), None);
-        m.deliver(cell(1, 0, 0, 0));
-        assert_eq!(m.emit().unwrap().id, CellId(1));
-        assert_eq!(m.emit().unwrap().id, CellId(2));
+        assert_eq!(m.emit(0), None);
+        m.deliver(cell(1, 0, 0, 0), 1);
+        assert_eq!(m.emit(1).unwrap().id, CellId(1));
+        assert_eq!(m.emit(2).unwrap().id, CellId(2));
     }
 
     #[test]
     fn greedy_emits_anything_earliest_first() {
         let mut m = OutputMux::new(2, OutputDiscipline::Greedy);
-        m.deliver(cell(5, 0, 1, 5)); // out of order within its flow — greedy does not care
-        m.deliver(cell(8, 0, 0, 8));
-        assert_eq!(m.emit().unwrap().id, CellId(5));
-        assert_eq!(m.emit().unwrap().id, CellId(8));
+        m.deliver(cell(5, 0, 1, 5), 0); // out of order within its flow — greedy does not care
+        m.deliver(cell(8, 0, 0, 8), 0);
+        assert_eq!(m.emit(0).unwrap().id, CellId(5));
+        assert_eq!(m.emit(1).unwrap().id, CellId(8));
     }
 
     #[test]
     fn high_water_mark() {
         let mut m = OutputMux::new(1, OutputDiscipline::FlowFifo);
-        m.deliver(cell(0, 0, 0, 0));
-        m.deliver(cell(1, 0, 1, 0));
-        m.emit();
-        m.deliver(cell(2, 0, 2, 0));
+        m.deliver(cell(0, 0, 0, 0), 0);
+        m.deliver(cell(1, 0, 1, 0), 0);
+        m.emit(0);
+        m.deliver(cell(2, 0, 2, 0), 1);
         assert_eq!(m.max_held(), 2);
         assert_eq!(m.emitted(), 1);
+    }
+
+    #[test]
+    fn watchdog_skips_past_a_lost_cell() {
+        let mut m = OutputMux::new(1, OutputDiscipline::FlowFifo);
+        m.set_watchdog(Some(3));
+        // seq 0 was lost to a failed plane; seq 1 and 2 arrive in slot 10.
+        m.deliver(cell(1, 0, 1, 1), 10);
+        m.deliver(cell(2, 0, 2, 2), 10);
+        assert_eq!(m.emit(10), None); // gap blocked 1 slot
+        assert_eq!(m.emit(11), None); // gap blocked 2 slots
+                                      // Third blocked slot hits the 3-slot timeout: skip past seq 0 and
+                                      // emit seq 1 in the same slot.
+        assert_eq!(m.emit(12).unwrap().seq, 1);
+        assert_eq!(m.emit(13).unwrap().seq, 2);
+        assert_eq!(m.skipped(), 1);
+        assert_eq!(m.stalled_slots(), 2);
+    }
+
+    #[test]
+    fn watchdog_gap_timer_ignores_other_flow_progress() {
+        let mut m = OutputMux::new(2, OutputDiscipline::FlowFifo);
+        m.set_watchdog(Some(4));
+        m.deliver(cell(9, 0, 1, 0), 0); // waits for seq 0 of input 0
+        assert_eq!(m.emit(0), None);
+        assert_eq!(m.emit(1), None);
+        // Another flow emits in slot 2 — but the gap timer is per flow, so
+        // input 0's countdown keeps running instead of resetting (a busy mux
+        // must not let gap-blocked flows rot behind other flows' progress).
+        m.deliver(cell(4, 1, 0, 1), 2);
+        assert_eq!(m.emit(2).unwrap().id, CellId(4));
+        // Slot 3 is the 4th slot input 0 has been blocked: timeout fires.
+        assert_eq!(m.emit(3).unwrap().id, CellId(9));
+        assert_eq!(m.skipped(), 1);
+    }
+
+    #[test]
+    fn late_cell_is_dropped_not_reordered() {
+        let mut m = OutputMux::new(1, OutputDiscipline::FlowFifo);
+        m.set_watchdog(Some(1));
+        m.deliver(cell(1, 0, 1, 1), 5);
+        // Immediate skip past missing seq 0.
+        assert_eq!(m.emit(5).unwrap().seq, 1);
+        // seq 0 shows up late (straggler from a slow plane): emitting it now
+        // would reorder the flow, so it must be discarded.
+        assert!(!m.deliver(cell(0, 0, 0, 0), 6));
+        assert_eq!(m.emit(6), None);
+        assert_eq!(m.late_dropped(), 1);
+        assert_eq!(m.held(), 0);
+    }
+
+    #[test]
+    fn expired_gaps_emit_in_emit_key_order() {
+        let mut m = OutputMux::new(2, OutputDiscipline::FlowFifo);
+        m.set_watchdog(Some(1));
+        // Both inputs are gap-blocked and both timeouts expire in slot 0,
+        // so both gaps are declared lost at once; emission then follows the
+        // emit key — input 1's waiting cell arrived earlier and goes first.
+        m.deliver(cell(10, 0, 3, 7), 0);
+        m.deliver(cell(11, 1, 2, 4), 0);
+        let first = m.emit(0).unwrap();
+        assert_eq!(first.id, CellId(11));
+        assert_eq!(m.skipped(), 5); // seqs 0–1 of input 1 and 0–2 of input 0
+        let second = m.emit(1).unwrap();
+        assert_eq!(second.id, CellId(10));
+    }
+
+    #[test]
+    fn global_fcfs_watchdog_abandons_stragglers() {
+        let mut m = OutputMux::new(2, OutputDiscipline::GlobalFcfs);
+        m.set_watchdog(Some(2));
+        m.register_in_flight(CellId(1));
+        m.register_in_flight(CellId(2));
+        m.deliver(cell(2, 1, 0, 0), 0);
+        assert_eq!(m.emit(0), None); // waiting for cell 1
+                                     // Second stalled slot: give up on cell 1 and emit cell 2.
+        assert_eq!(m.emit(1).unwrap().id, CellId(2));
+        assert_eq!(m.skipped(), 1);
+        // If cell 1 then limps in, it is late: accepted order already went out.
+        assert!(!m.deliver(cell(1, 0, 0, 0), 2));
+        assert_eq!(m.late_dropped(), 1);
     }
 }

@@ -72,12 +72,32 @@ impl Plane {
     /// Highest occupancy any destination queue ever reached — the buffer
     /// provisioning the paper ties to relative queuing delay.
     pub fn max_queue_occupancy(&self) -> usize {
-        self.queues.iter().map(|q| q.max_occupancy()).max().unwrap_or(0)
+        self.queues
+            .iter()
+            .map(|q| q.max_occupancy())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mark the plane failed (fault-injection); subsequent cells are lost.
-    pub fn fail(&mut self) {
+    /// Cells already queued inside the plane are lost with it — they are
+    /// drained and returned so the fabric can account for them (live
+    /// counters, straggler registrations, drop statistics).
+    pub fn fail(&mut self) -> Vec<Cell> {
         self.failed = true;
+        let mut flushed = Vec::new();
+        for q in &mut self.queues {
+            while let Some(cell) = q.pop() {
+                flushed.push(cell);
+            }
+        }
+        flushed
+    }
+
+    /// Bring a failed plane back into service (fault-injection recovery).
+    /// It restarts empty — the flushed cells are gone, not restored.
+    pub fn recover(&mut self) {
+        self.failed = false;
     }
 
     /// Whether the plane is failed.
@@ -117,10 +137,25 @@ mod tests {
     #[test]
     fn failed_plane_black_holes() {
         let mut p = Plane::new(1);
-        p.fail();
+        assert!(p.fail().is_empty());
         assert!(!p.accept(cell(0, 0)));
         assert!(p.is_empty());
         assert_eq!(p.carried(), 0);
+    }
+
+    #[test]
+    fn failure_flushes_queued_cells_and_recovery_restarts_empty() {
+        let mut p = Plane::new(2);
+        assert!(p.accept(cell(0, 0)));
+        assert!(p.accept(cell(1, 1)));
+        let flushed = p.fail();
+        assert_eq!(flushed.len(), 2);
+        assert!(p.is_empty());
+        assert!(p.is_failed());
+        p.recover();
+        assert!(!p.is_failed());
+        assert!(p.accept(cell(2, 0)));
+        assert_eq!(p.queue_len(0), 1);
     }
 
     #[test]

@@ -36,7 +36,10 @@ fn input_constraint_violation_is_fatal() {
         .unwrap()
         .run(&t)
         .unwrap_err();
-    assert!(matches!(err, ModelError::InputConstraintViolation { .. }), "{err}");
+    assert!(
+        matches!(err, ModelError::InputConstraintViolation { .. }),
+        "{err}"
+    );
 }
 
 /// Names a plane that does not exist.
@@ -63,7 +66,10 @@ fn plane_out_of_range_is_fatal() {
         .unwrap()
         .run(&t)
         .unwrap_err();
-    assert!(matches!(err, ModelError::PlaneOutOfRange { k: 2, .. }), "{err}");
+    assert!(
+        matches!(err, ModelError::PlaneOutOfRange { k: 2, .. }),
+        "{err}"
+    );
 }
 
 /// Buffered demux that releases a non-existent buffer slot.
@@ -99,7 +105,10 @@ fn bad_buffer_index_is_fatal() {
         .unwrap()
         .run(&t)
         .unwrap_err();
-    assert!(matches!(err, ModelError::BadBufferIndex { index: 7, .. }), "{err}");
+    assert!(
+        matches!(err, ModelError::BadBufferIndex { index: 7, .. }),
+        "{err}"
+    );
 }
 
 /// Buffered demux that releases the same slot twice in one decision.
@@ -139,7 +148,10 @@ fn duplicate_release_indices_are_fatal() {
         .unwrap()
         .run(&t)
         .unwrap_err();
-    assert!(matches!(err, ModelError::BadBufferIndex { index: 0, .. }), "{err}");
+    assert!(
+        matches!(err, ModelError::BadBufferIndex { index: 0, .. }),
+        "{err}"
+    );
 }
 
 /// Buffered demux that hoards everything.
@@ -215,7 +227,10 @@ fn two_releases_on_one_line_violate_the_input_constraint() {
         .unwrap()
         .run(&t)
         .unwrap_err();
-    assert!(matches!(err, ModelError::InputConstraintViolation { .. }), "{err}");
+    assert!(
+        matches!(err, ModelError::InputConstraintViolation { .. }),
+        "{err}"
+    );
 }
 
 #[test]

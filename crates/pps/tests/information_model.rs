@@ -27,7 +27,8 @@ impl Demultiplexor for SpyDemux {
     }
     fn dispatch(&mut self, _cell: &Cell, ctx: &DispatchCtx<'_>) -> PlaneId {
         self.seen
-            .lock().unwrap()
+            .lock()
+            .unwrap()
             .push((ctx.local.now, ctx.global.map(|g| g.taken_at)));
         let p = ctx.local.next_free_from(self.next as usize).unwrap();
         self.next = (p as u32 + 1) % self.k;
@@ -52,7 +53,9 @@ fn run_spy(class: InfoClass, slots: Slot) -> Vec<(Slot, Option<Slot>)> {
         seen: seen.clone(),
     };
     let trace = Trace::build(
-        (0..slots).map(|s| Arrival::new(s, (s % 2) as u32, 0)).collect(),
+        (0..slots)
+            .map(|s| Arrival::new(s, (s % 2) as u32, 0))
+            .collect(),
         n,
     )
     .unwrap();
@@ -135,7 +138,10 @@ fn u_rt_snapshot_contents_lag_reality() {
     let (n, k, r_prime) = (4usize, 4usize, 4usize);
     let cfg = PpsConfig::bufferless(n, k, r_prime);
     let seen = Arc::new(Mutex::new(Vec::new()));
-    let demux = BacklogSpy { u: 4, seen: seen.clone() };
+    let demux = BacklogSpy {
+        u: 4,
+        seen: seen.clone(),
+    };
     // Heavy fan-in to one output so plane backlog builds quickly.
     let trace = Trace::build(
         (0..40)

@@ -59,15 +59,9 @@ pub fn check_work_conserving(log: &RunLog, within: Option<(Slot, Slot)>) -> Vec<
     }
     for (output, mut cells) in outputs {
         cells.sort_by_key(|&(a, _, id)| (a, id));
-        let horizon = cells
-            .iter()
-            .filter_map(|&(_, d, _)| d)
-            .max()
-            .unwrap_or(0);
-        let mut departures: std::collections::BTreeSet<Slot> = cells
-            .iter()
-            .filter_map(|&(_, d, _)| d)
-            .collect();
+        let horizon = cells.iter().filter_map(|&(_, d, _)| d).max().unwrap_or(0);
+        let mut departures: std::collections::BTreeSet<Slot> =
+            cells.iter().filter_map(|&(_, d, _)| d).collect();
         // Sweep slots; maintain pending count.
         let mut pending = 0usize;
         let mut next_arrival = 0usize;
@@ -164,9 +158,14 @@ mod tests {
         assert!(v
             .iter()
             .any(|x| matches!(x, Violation::IdleWithBacklog { slot: 0, .. })));
-        assert!(v
-            .iter()
-            .any(|x| matches!(x, Violation::IdleWithBacklog { slot: 1, pending: 3, .. })));
+        assert!(v.iter().any(|x| matches!(
+            x,
+            Violation::IdleWithBacklog {
+                slot: 1,
+                pending: 3,
+                ..
+            }
+        )));
     }
 
     #[test]

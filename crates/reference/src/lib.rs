@@ -27,4 +27,6 @@ pub mod regulator;
 
 pub use checker::{check_flow_order, check_work_conserving, Violation};
 pub use oq::{fcfs_departure_times, run_oq, ShadowOq};
-pub use regulator::{min_feasible_delay, regulate, regulate_online, OnlineRegulation, RegulationReport};
+pub use regulator::{
+    min_feasible_delay, regulate, regulate_online, OnlineRegulation, RegulationReport,
+};

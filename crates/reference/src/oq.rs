@@ -61,7 +61,11 @@ impl ShadowOq {
     /// this is bounded by the traffic's burstiness factor `B` for
     /// leaky-bucket traffic (via Cruz's calculus \[9\]).
     pub fn max_occupancy(&self) -> usize {
-        self.queues.iter().map(|q| q.max_occupancy()).max().unwrap_or(0)
+        self.queues
+            .iter()
+            .map(|q| q.max_occupancy())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -192,7 +196,12 @@ mod tests {
 
     #[test]
     fn run_drains_everything() {
-        let t = trace((0..100).map(|s| Arrival::new(s, 0, (s % 4) as u32)).collect(), 4);
+        let t = trace(
+            (0..100)
+                .map(|s| Arrival::new(s, 0, (s % 4) as u32))
+                .collect(),
+            4,
+        );
         let log = run_oq(&t, 4);
         assert_eq!(log.undelivered(), 0);
         // Load is 1/4 per output with no conflicts: all delays zero.

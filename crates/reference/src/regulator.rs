@@ -59,7 +59,10 @@ pub fn regulate(log: &RunLog, d_target: Slot) -> RegulationReport {
     let mut per_output: BTreeMap<PortId, Vec<(Slot, Slot)>> = BTreeMap::new(); // (departure, arrival)
     for rec in log.records() {
         if let Some(dep) = rec.departure {
-            per_output.entry(rec.output).or_default().push((dep, rec.arrival));
+            per_output
+                .entry(rec.output)
+                .or_default()
+                .push((dep, rec.arrival));
         }
     }
     let mut buffer_required = 0usize;
@@ -137,12 +140,18 @@ pub struct OnlineRegulation {
 /// trade-off curve, the buffer-flavoured face of the paper's delay lower
 /// bounds.
 pub fn regulate_online(log: &RunLog, d_target: Slot, buffer_cap: usize) -> OnlineRegulation {
-    assert!(buffer_cap >= 1, "the regulator needs at least one slot of buffer");
+    assert!(
+        buffer_cap >= 1,
+        "the regulator needs at least one slot of buffer"
+    );
     let mut per_output: BTreeMap<PortId, Vec<(Slot, Slot)>> = BTreeMap::new(); // (departure, arrival)
     let mut horizon: Slot = 0;
     for rec in log.records() {
         if let Some(dep) = rec.departure {
-            per_output.entry(rec.output).or_default().push((dep, rec.arrival));
+            per_output
+                .entry(rec.output)
+                .or_default()
+                .push((dep, rec.arrival));
             horizon = horizon.max(dep);
         }
     }
@@ -254,9 +263,8 @@ mod tests {
         // cells wait — buffer grows with d.
         let r_prime = 4u64;
         let d = 8u64;
-        let rows: Vec<(u64, u32, u32, Slot, Slot)> = (0..d)
-            .map(|i| (i, i as u32, 0, i, i * r_prime))
-            .collect();
+        let rows: Vec<(u64, u32, u32, Slot, Slot)> =
+            (0..d).map(|i| (i, i as u32, 0, i, i * r_prime)).collect();
         let log = log_of(&rows);
         let worst = min_feasible_delay(&log); // (d-1)(r'-1)
         assert_eq!(worst, (d - 1) * (r_prime - 1));
@@ -286,9 +294,8 @@ mod tests {
         // cannot wait for the late ones — jitter survives.
         let r_prime = 4u64;
         let d = 8u64;
-        let rows: Vec<(u64, u32, u32, Slot, Slot)> = (0..d)
-            .map(|i| (i, i as u32, 0, i, i * r_prime))
-            .collect();
+        let rows: Vec<(u64, u32, u32, Slot, Slot)> =
+            (0..d).map(|i| (i, i as u32, 0, i, i * r_prime)).collect();
         let log = log_of(&rows);
         let target = min_feasible_delay(&log);
         let small = regulate_online(&log, target, 1);

@@ -121,7 +121,11 @@ pub fn concentration_attack_on<D: Demultiplexor + Clone>(
     // Phase 3: d cells, one per slot, from distinct aligned inputs.
     let d = plan.d();
     for (offset, &(input, _)) in plan.probes.iter().enumerate() {
-        arrivals.push(Arrival::new(burst_start + offset as Slot, input, hot_output));
+        arrivals.push(Arrival::new(
+            burst_start + offset as Slot,
+            input,
+            hot_output,
+        ));
     }
     phase_log.push(format!(
         "phase 3 (burst): {d} cells for output {hot_output}, one per slot from distinct \
@@ -204,7 +208,10 @@ mod tests {
         let atk = concentration_attack(&Rr::new(8, 4), &cfg, &inputs, 16);
         assert_eq!(atk.d, 8, "all inputs align on a round robin");
         let rep = min_burstiness(&atk.trace, 8);
-        assert!(rep.burst_free(), "Theorem 6 requires burst-free traffic: {rep:?}");
+        assert!(
+            rep.burst_free(),
+            "Theorem 6 requires burst-free traffic: {rep:?}"
+        );
     }
 
     #[test]

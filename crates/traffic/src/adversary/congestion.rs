@@ -93,8 +93,7 @@ mod tests {
     fn no_input_sends_twice_per_slot() {
         let c = congestion_traffic(4, 0, 4, 20);
         for (_, group) in c.trace.by_slot() {
-            let inputs: std::collections::BTreeSet<u32> =
-                group.iter().map(|a| a.input.0).collect();
+            let inputs: std::collections::BTreeSet<u32> = group.iter().map(|a| a.input.0).collect();
             assert_eq!(inputs.len(), group.len());
         }
     }

@@ -57,7 +57,12 @@ pub fn urt_burst_attack(cfg: &PpsConfig, u: Slot) -> UrtBurstAttack {
     let r_prime = cfg.r_prime as Slot;
     let u_eff = u.min(r_prime / 2).max(1);
     let m = ((u_eff as usize) * cfg.n / cfg.k).min(cfg.n);
-    assert!(m >= 1, "need u'*N/K >= 1 (got N={}, K={}, u'={u_eff})", cfg.n, cfg.k);
+    assert!(
+        m >= 1,
+        "need u'*N/K >= 1 (got N={}, K={}, u'={u_eff})",
+        cfg.n,
+        cfg.k
+    );
     let hot_output = 0u32;
     // Start after the stale horizon: views during [start, start+u') are
     // taken at <= start + u' - 1 - u < start, i.e. before the burst.
@@ -79,8 +84,7 @@ pub fn urt_burst_attack(cfg: &PpsConfig, u: Slot) -> UrtBurstAttack {
     let trace = Trace::build(arrivals, cfg.n).expect("one cell per (slot, input)");
     let predicted_bound = (m as u64) * (r_prime - u_eff);
     let model_exact_bound = (m as u64 - 1) * (r_prime - u_eff);
-    let predicted_burstiness =
-        (u_eff * u_eff) * cfg.n as u64 / cfg.k as u64 - u_eff;
+    let predicted_burstiness = (u_eff * u_eff) * cfg.n as u64 / cfg.k as u64 - u_eff;
     UrtBurstAttack {
         trace,
         u_eff,

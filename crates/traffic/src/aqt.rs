@@ -63,9 +63,9 @@ pub fn admissibility_horizon(trace: &Trace, n: usize) -> Option<Slot> {
         // satisfying w with all larger windows also satisfying is found by
         // scanning upward and verifying the tail lazily.
         is_aqt_admissible(trace, n, w, one)
-            && (w..=horizon).step_by((horizon as usize / 16).max(1)).all(|w2| {
-                is_aqt_admissible(trace, n, w2, one)
-            })
+            && (w..=horizon)
+                .step_by((horizon as usize / 16).max(1))
+                .all(|w2| is_aqt_admissible(trace, n, w2, one))
     })
 }
 
@@ -74,7 +74,7 @@ mod tests {
     use super::*;
     use crate::adversary::{concentration_attack, congestion_traffic};
     use crate::leaky_bucket::min_burstiness;
-    use pps_core::demux::{DispatchCtx, Demultiplexor, InfoClass};
+    use pps_core::demux::{Demultiplexor, DispatchCtx, InfoClass};
     use pps_core::ids::PlaneId;
 
     fn trace(v: Vec<Arrival>, n: usize) -> Trace {
@@ -101,7 +101,12 @@ mod tests {
     fn burst_free_iff_rate_one_admissible_everywhere() {
         // One cell per slot to one output: burst-free and (w,1)-admissible
         // at every w.
-        let t = trace((0..20).map(|s| Arrival::new(s, (s % 3) as u32, 0)).collect(), 3);
+        let t = trace(
+            (0..20)
+                .map(|s| Arrival::new(s, (s % 3) as u32, 0))
+                .collect(),
+            3,
+        );
         assert!(min_burstiness(&t, 3).burst_free());
         for w in 1..=20 {
             assert!(is_aqt_admissible(&t, 3, w, Ratio::new(1, 1)), "w = {w}");

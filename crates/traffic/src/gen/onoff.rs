@@ -105,7 +105,10 @@ mod tests {
             prev = Some(a);
         }
         let mean_run = cells as f64 / runs as f64;
-        assert!(mean_run > 4.0, "mean run {mean_run} too short for bursty traffic");
+        assert!(
+            mean_run > 4.0,
+            "mean run {mean_run} too short for bursty traffic"
+        );
     }
 
     #[test]

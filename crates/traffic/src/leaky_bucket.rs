@@ -196,7 +196,12 @@ mod tests {
 
     #[test]
     fn one_cell_per_slot_is_burst_free() {
-        let t = trace((0..10).map(|s| Arrival::new(s, (s % 3) as u32, 0)).collect(), 3);
+        let t = trace(
+            (0..10)
+                .map(|s| Arrival::new(s, (s % 3) as u32, 0))
+                .collect(),
+            3,
+        );
         let rep = min_burstiness(&t, 3);
         assert!(rep.burst_free(), "{rep:?}");
     }
@@ -254,7 +259,12 @@ mod tests {
     #[test]
     fn inputs_never_exceed_zero() {
         // Per-input constraint is structural.
-        let t = trace((0..20).map(|s| Arrival::new(s, 0, (s % 2) as u32)).collect(), 2);
+        let t = trace(
+            (0..20)
+                .map(|s| Arrival::new(s, 0, (s % 2) as u32))
+                .collect(),
+            2,
+        );
         let rep = min_burstiness(&t, 2);
         assert_eq!(rep.per_input, vec![0, 0]);
     }

@@ -40,7 +40,11 @@ impl TraceStats {
         TraceStats {
             n,
             cells: trace.len(),
-            duration: if trace.is_empty() { 0 } else { trace.horizon() + 1 },
+            duration: if trace.is_empty() {
+                0
+            } else {
+                trace.horizon() + 1
+            },
             per_input,
             per_output,
             flows: flows.len(),
@@ -122,7 +126,11 @@ mod tests {
     fn generator_load_shows_up() {
         let t = BernoulliGen::uniform(0.6, 5).trace(8, 2_000);
         let s = TraceStats::of(&t, 8);
-        assert!((s.offered_load() - 0.6).abs() < 0.03, "{}", s.offered_load());
+        assert!(
+            (s.offered_load() - 0.6).abs() < 0.03,
+            "{}",
+            s.offered_load()
+        );
         assert!(s.flows > 8, "uniform destinations create many flows");
         assert!(s.summary().contains("ports"));
     }

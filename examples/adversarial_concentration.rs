@@ -40,7 +40,11 @@ fn main() {
     let cmp = compare_bufferless(cfg, demux, &atk.trace).expect("run");
     let rd = cmp.relative_delay();
     println!("\n-- measured --");
-    println!("concentration            : {} cells on plane {}", cmp.max_concentration(), atk.plan.plane);
+    println!(
+        "concentration            : {} cells on plane {}",
+        cmp.max_concentration(),
+        atk.plan.plane
+    );
     println!("relative queuing delay   : {} slots", rd.max);
     println!("relative delay jitter    : {} slots", cmp.relative_jitter());
     assert!(rd.max as u64 >= atk.model_exact_bound);

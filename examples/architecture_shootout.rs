@@ -46,7 +46,13 @@ fn main() {
     let (n, k, r_prime) = (16, 8, 4); // PPS at S = 2
     let mut table = Table::new(
         format!("mean/max queuing delay, N={n} (PPS: K={k}, r'={r_prime}, S=2)"),
-        &["workload", "ideal OQ", "iSLIP crossbar", "PPS + CPA", "PPS + RR"],
+        &[
+            "workload",
+            "ideal OQ",
+            "iSLIP crossbar",
+            "PPS + CPA",
+            "PPS + RR",
+        ],
     );
     for load in [0.5f64, 0.8, 0.95] {
         let t = BernoulliGen::uniform(load, 7).trace(n, 4_000);

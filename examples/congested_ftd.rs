@@ -18,7 +18,12 @@ fn main() {
     println!("-- Theorem 14: work conservation under congestion --\n");
     let mut t14 = Table::new(
         format!("extended FTD at N={n}, K={k}, r'={r_prime}, overload S+1 cells/slot on output 0"),
-        &["h (block = h*r')", "warm-up", "idle slots in congestion", "max rank delta"],
+        &[
+            "h (block = h*r')",
+            "warm-up",
+            "idle slots in congestion",
+            "max rank delta",
+        ],
     );
     for h in [2usize, 3, 4] {
         let out = e08_ftd_congestion::point(n, k, r_prime, h, 1_000);
@@ -39,7 +44,10 @@ fn main() {
     );
     for duration in [100u64, 400, 1600] {
         let c = congestion_traffic(n, 0, k / r_prime + 1, duration);
-        t15.row_display(&[duration.to_string(), min_burstiness(&c.trace, n).overall().to_string()]);
+        t15.row_display(&[
+            duration.to_string(),
+            min_burstiness(&c.trace, n).overall().to_string(),
+        ]);
     }
     println!("{}", t15.render());
     println!(

@@ -41,7 +41,13 @@ fn main() {
 
     let mut table = Table::new(
         format!("per-flow jitter at N={n}, K={k}, r'={r_prime}, S=2"),
-        &["algorithm", "workload", "max flow jitter", "mean flow jitter", "relative jitter"],
+        &[
+            "algorithm",
+            "workload",
+            "max flow jitter",
+            "mean flow jitter",
+            "relative jitter",
+        ],
     );
     for (wname, trace) in [("onoff-0.8", &bursty), ("rr-attack", &attack)] {
         let rr = compare_bufferless(cfg, RoundRobinDemux::new(n, k), trace).expect("run");

@@ -33,11 +33,23 @@ fn main() {
     let cmp = compare_bufferless(cfg, demux, &trace).expect("admissible run");
 
     let rd = cmp.relative_delay();
-    println!("PPS max queuing delay      : {:?} slots", cmp.pps.log.max_delay().unwrap());
-    println!("shadow OQ max queuing delay: {:?} slots", cmp.oq.max_delay().unwrap());
-    println!("relative queuing delay     : {} slots (max over cells)", rd.max);
+    println!(
+        "PPS max queuing delay      : {:?} slots",
+        cmp.pps.log.max_delay().unwrap()
+    );
+    println!(
+        "shadow OQ max queuing delay: {:?} slots",
+        cmp.oq.max_delay().unwrap()
+    );
+    println!(
+        "relative queuing delay     : {} slots (max over cells)",
+        rd.max
+    );
     println!("relative delay (mean)      : {:.3} slots", rd.mean);
-    println!("relative delay jitter      : {} slots (max over flows)", cmp.relative_jitter());
+    println!(
+        "relative delay jitter      : {} slots (max over flows)",
+        cmp.relative_jitter()
+    );
     println!(
         "plane concentration        : {} cells via one (plane, output) pair",
         cmp.max_concentration()

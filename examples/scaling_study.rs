@@ -12,9 +12,9 @@
 
 use pps_analysis::{compare_bufferless, AsciiChart, Table};
 use pps_core::prelude::*;
+use pps_switch::demux::StaleLeastLoadedDemux;
 use pps_switch::demux::{CpaDemux, RoundRobinDemux};
 use pps_traffic::adversary::{concentration_attack, urt_burst_attack};
-use pps_switch::demux::StaleLeastLoadedDemux;
 
 fn main() {
     let (k, r_prime) = (8, 4); // S = 2
@@ -25,7 +25,12 @@ fn main() {
     );
     let mut table = Table::new(
         "worst-case relative queuing delay by information class (K=8, r'=4, S=2)",
-        &["N", "fully-distributed (RR)", "1-RT (stale least-loaded)", "centralized (CPA)"],
+        &[
+            "N",
+            "fully-distributed (RR)",
+            "1-RT (stale least-loaded)",
+            "centralized (CPA)",
+        ],
     );
     for n in [64usize, 128, 256, 512, 1024] {
         let cfg = PpsConfig::bufferless(n, k, r_prime);
@@ -54,7 +59,12 @@ fn main() {
             .max;
 
         chart.point(n as f64, fd as f64);
-        table.row_display(&[n.to_string(), fd.to_string(), urt.to_string(), cpa.to_string()]);
+        table.row_display(&[
+            n.to_string(),
+            fd.to_string(),
+            urt.to_string(),
+            cpa.to_string(),
+        ]);
     }
     println!("{}", table.render());
     println!("{}", chart.render());

@@ -24,7 +24,11 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("temp dir");
     let path = dir.join("corollary7_attack.csv");
     trace_io::save(&atk.trace, &path).expect("archive trace");
-    println!("archived {} -> {}", TraceStats::of(&atk.trace, n).summary(), path.display());
+    println!(
+        "archived {} -> {}",
+        TraceStats::of(&atk.trace, n).summary(),
+        path.display()
+    );
 
     // 2. Reload and verify the round trip is exact.
     let reloaded = trace_io::load(&path, n).expect("reload trace");

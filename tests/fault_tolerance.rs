@@ -5,8 +5,8 @@
 //! cells).
 
 use pps_core::prelude::*;
-use pps_switch::demux::{RoundRobinDemux, StaticPartitionDemux};
-use pps_switch::engine::BufferlessPps;
+use pps_switch::demux::{BufferedRoundRobinDemux, RoundRobinDemux, StaticPartitionDemux};
+use pps_switch::engine::{run_buffered_with_faults, BufferedPps, BufferlessPps};
 use pps_traffic::gen::BernoulliGen;
 
 fn run_with_failed_plane<D: Demultiplexor>(
@@ -16,7 +16,7 @@ fn run_with_failed_plane<D: Demultiplexor>(
     failed: usize,
 ) -> pps_switch::engine::PpsRun {
     let mut pps = BufferlessPps::new(cfg, demux).unwrap();
-    pps.fail_plane(failed);
+    pps.fail_plane(failed).unwrap();
     pps.run(trace).unwrap()
 }
 
@@ -52,12 +52,7 @@ fn minimal_partition_halves_its_victims_traffic() {
     let (n, k, r_prime) = (8, 4, 2);
     let cfg = PpsConfig::bufferless(n, k, r_prime);
     let trace = BernoulliGen::uniform(0.9, 7).trace(n, 2_000);
-    let run = run_with_failed_plane(
-        cfg,
-        StaticPartitionDemux::minimal(n, k, r_prime),
-        &trace,
-        0,
-    );
+    let run = run_with_failed_plane(cfg, StaticPartitionDemux::minimal(n, k, r_prime), &trace, 0);
     // Inputs in group 0 (subset {0, 1}) lose every cell routed to plane 0,
     // i.e. about half of what they send.
     let mut sent = vec![0u64; n];
@@ -86,12 +81,7 @@ fn failure_does_not_wedge_unaffected_flows() {
     let (n, k, r_prime) = (4, 4, 2);
     let cfg = PpsConfig::bufferless(n, k, r_prime);
     // Partition input 0 onto planes {2, 3}; others onto {0, 1}.
-    let demux = StaticPartitionDemux::new(vec![
-        vec![2, 3],
-        vec![0, 1],
-        vec![0, 1],
-        vec![0, 1],
-    ]);
+    let demux = StaticPartitionDemux::new(vec![vec![2, 3], vec![0, 1], vec![0, 1], vec![0, 1]]);
     let trace = BernoulliGen::uniform(0.7, 9).trace(n, 400);
     let run = run_with_failed_plane(cfg, demux, &trace, 0);
     for rec in run.log.records() {
@@ -108,6 +98,62 @@ fn failure_does_not_wedge_unaffected_flows() {
         v,
         pps_reference::checker::Violation::FlowReorder { flow, .. } if flow.input == PortId(0)
     )));
+}
+
+#[test]
+fn buffered_switch_loses_about_one_over_k_too() {
+    // The input-buffered engine shares the fabric, so a fault-blind
+    // buffered round robin keeps feeding a dead plane just like the
+    // bufferless one.
+    let (n, k, r_prime) = (8, 8, 2);
+    let cfg = PpsConfig::buffered(n, k, r_prime, 64);
+    let trace = BernoulliGen::uniform(0.8, 13).trace(n, 1_500);
+    let mut pps = BufferedPps::new(cfg, BufferedRoundRobinDemux::new(n, k)).unwrap();
+    pps.fail_plane(0).unwrap();
+    let run = pps.run(&trace).unwrap();
+    let frac = run.stats.dropped as f64 / trace.len() as f64;
+    assert!(
+        (0.06..0.20).contains(&frac),
+        "buffered round robin should lose ~1/K = 12.5%: lost {frac:.3}"
+    );
+    assert!(pps.fail_plane(k).is_err(), "out-of-range plane is rejected");
+}
+
+#[test]
+fn buffered_switch_survives_a_fail_recover_cycle() {
+    // Mid-run PlaneDown/PlaneUp against the buffered engine: cells are
+    // lost only while the plane is down, the watchdog unwedges the
+    // resequencer, and the plane carries traffic again after PlaneUp.
+    let (n, k, r_prime) = (8, 4, 2);
+    let cfg = PpsConfig::buffered(n, k, r_prime, 64).with_watchdog(16);
+    let trace = BernoulliGen::uniform(0.6, 17).trace(n, 1_200);
+    let plan = FaultPlan::new().plane_down(0, 300).plane_up(0, 700);
+    let run =
+        run_buffered_with_faults(cfg, BufferedRoundRobinDemux::new(n, k), &trace, &plan).unwrap();
+    assert!(run.stats.dropped > 0, "the outage must cost something");
+    for rec in run.log.records() {
+        if rec.departure.is_none() {
+            // Only the dead plane loses cells, and only cells dispatched
+            // during the outage (dispatch happens at or after arrival, so
+            // every victim arrived before the PlaneUp slot).
+            assert_eq!(
+                rec.plane,
+                Some(PlaneId(0)),
+                "loss off the dead plane: {rec:?}"
+            );
+            assert!(rec.arrival < 700, "loss after recovery: {rec:?}");
+        }
+    }
+    // The plane carries traffic again after recovery.
+    let after_recovery = run
+        .log
+        .records()
+        .iter()
+        .filter(|r| r.plane == Some(PlaneId(0)) && r.departure.is_some() && r.arrival >= 700)
+        .count();
+    assert!(after_recovery > 0, "plane 0 must carry cells after PlaneUp");
+    // The watchdog skipped the gaps the lost cells left behind.
+    assert!(run.stats.skipped > 0, "watchdog must have fired");
 }
 
 #[test]

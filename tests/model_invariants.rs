@@ -21,9 +21,8 @@ use pps_switch::engine::{run_buffered, run_bufferless, PpsRun};
 
 /// Random geometry: (n, k, r') with K >= r' (bufferless-legal).
 fn geometry() -> impl Strategy<Value = (usize, usize, usize)> {
-    (2usize..=9, 1usize..=4).prop_flat_map(|(n, r_prime)| {
-        (r_prime..=r_prime * 4).prop_map(move |k| (n, k, r_prime))
-    })
+    (2usize..=9, 1usize..=4)
+        .prop_flat_map(|(n, r_prime)| (r_prime..=r_prime * 4).prop_map(move |k| (n, k, r_prime)))
 }
 
 /// Random trace for an n-port switch: up to `slots` slots, arrival
@@ -46,7 +45,11 @@ fn trace_strategy(n: usize, slots: u64) -> impl Strategy<Value = Trace> {
 }
 
 fn assert_run_obligations(run: &PpsRun, what: &str) {
-    assert_eq!(run.log.undelivered(), 0, "{what}: cells stuck in the switch");
+    assert_eq!(
+        run.log.undelivered(),
+        0,
+        "{what}: cells stuck in the switch"
+    );
     assert_eq!(run.stats.dropped, 0, "{what}: cells dropped");
     let order = check_flow_order(&run.log);
     assert!(order.is_empty(), "{what}: flow order violated: {order:?}");
@@ -56,7 +59,11 @@ fn assert_run_obligations(run: &PpsRun, what: &str) {
         if let Some(dep) = rec.departure {
             let c = per_slot.entry((rec.output, dep)).or_default();
             *c += 1;
-            assert_eq!(*c, 1, "{what}: two departures from {:?} in slot {dep}", rec.output);
+            assert_eq!(
+                *c, 1,
+                "{what}: two departures from {:?} in slot {dep}",
+                rec.output
+            );
             assert!(dep >= rec.arrival, "{what}: departure before arrival");
         }
     }

@@ -52,8 +52,7 @@ fn corollary7_holds_for_every_unpartitioned_algorithm_we_ship() {
     let cmp = compare_bufferless(cfg, RoundRobinDemux::new(n, k), &rr_atk.trace).unwrap();
     assert!(cmp.relative_delay().max as u64 >= rr_atk.model_exact_bound);
 
-    let pf_atk =
-        concentration_attack(&PerFlowRoundRobinDemux::new(n, k), &cfg, &inputs, 8 * k);
+    let pf_atk = concentration_attack(&PerFlowRoundRobinDemux::new(n, k), &cfg, &inputs, 8 * k);
     assert_eq!(pf_atk.d, n);
     let cmp = compare_bufferless(cfg, PerFlowRoundRobinDemux::new(n, k), &pf_atk.trace).unwrap();
     assert!(cmp.relative_delay().max as u64 >= pf_atk.model_exact_bound);
@@ -68,7 +67,11 @@ fn randomized_demux_still_concentrates_in_expectation() {
     let cfg = PpsConfig::bufferless(n, k, r_prime);
     let demux = RandomDemux::new(n, 1234);
     let atk = concentration_attack(&demux, &cfg, &(0..n as u32).collect::<Vec<_>>(), 16 * k);
-    assert!(atk.d >= n - 1, "alignment search should steer the seeded RNG: {}", atk.d);
+    assert!(
+        atk.d >= n - 1,
+        "alignment search should steer the seeded RNG: {}",
+        atk.d
+    );
     let cmp = compare_bufferless(cfg, demux, &atk.trace).unwrap();
     assert!(cmp.relative_delay().max as u64 >= atk.model_exact_bound);
 }
@@ -99,8 +102,8 @@ fn theorem10_bound_at_minimal_plane_count() {
 #[test]
 fn theorem12_upper_bound_with_odd_u() {
     let (n, k, r_prime, u) = (12, 8, 4, 5u64);
-    let cfg =
-        PpsConfig::buffered(n, k, r_prime, u as usize).with_discipline(OutputDiscipline::GlobalFcfs);
+    let cfg = PpsConfig::buffered(n, k, r_prime, u as usize)
+        .with_discipline(OutputDiscipline::GlobalFcfs);
     let trace = BernoulliGen::uniform(0.9, 17).trace(n, 1_200);
     let cmp = compare_buffered(cfg, DelayedCpaDemux::new(n, k, r_prime, u), &trace).unwrap();
     let rd = cmp.relative_delay();
@@ -119,7 +122,11 @@ fn arbitrated_crossbar_is_a_working_u_rt_switch() {
     // No exact bound claimed for the arbiter, but the grant latency shows
     // up: every cell waits at least... nothing guaranteed below u, yet the
     // switch must stay functional and within a loose envelope.
-    assert!(rd.max >= u as i64 - (r_prime as i64), "grant latency vanished? {}", rd.max);
+    assert!(
+        rd.max >= u as i64 - (r_prime as i64),
+        "grant latency vanished? {}",
+        rd.max
+    );
     assert!(rd.max <= (u + (n * r_prime) as u64) as i64);
 }
 

@@ -1,0 +1,186 @@
+//! Offline stand-in for `rand` 0.9.
+//!
+//! Implements the exact API surface this workspace uses — `StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::random_range` over integer
+//! ranges, and `Rng::random_bool` — on top of xoshiro256++ seeded with
+//! SplitMix64. The stream is *not* the real `StdRng`'s (ChaCha12), so
+//! seeded golden numbers are pinned against this generator; statistical
+//! quality (equidistribution, long period) is far beyond what the
+//! distribution-level assertions in the test suite need.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level 64-bit generator interface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface; only `seed_from_u64` is used in this workspace.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Integer types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_below(rng: &mut dyn FnMut() -> u64, span: u64) -> u64;
+    fn to_u64(self) -> u64;
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_below(rng: &mut dyn FnMut() -> u64, span: u64) -> u64 {
+                // Multiply-shift: maps a uniform u64 onto [0, span) with
+                // bias < 2^-64 * span — negligible for simulation use.
+                ((rng() as u128 * span as u128) >> 64) as u64
+            }
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// Range-like arguments accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> T {
+        let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+        assert!(lo < hi, "random_range called with an empty range");
+        T::from_u64(lo + T::sample_below(rng, hi - lo))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> T {
+        let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+        assert!(lo <= hi, "random_range called with an empty range");
+        if lo == 0 && hi == u64::MAX {
+            return T::from_u64(rng());
+        }
+        T::from_u64(lo + T::sample_below(rng, hi - lo + 1))
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every core RNG.
+pub trait Rng: RngCore {
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        let mut draw = || self.next_u64();
+        range.sample(&mut draw)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "random_bool p out of [0, 1]: {p}");
+        // 53 uniform mantissa bits; max value is (2^53 - 1) / 2^53 < 1.0,
+        // so p == 1.0 always accepts and p == 0.0 always rejects.
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and statistically strong.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut state);
+            }
+            // An all-zero state is the one fixed point; SplitMix64 cannot
+            // produce four zero outputs in a row, but keep the guard local.
+            if s == [0; 4] {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.random_range(0u64..1 << 60)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random_range(0u64..1 << 60)).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.random_range(0u64..1 << 60)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u32 = rng.random_range(5..=5);
+            assert_eq!(w, 5);
+        }
+    }
+
+    #[test]
+    fn bool_probability_is_roughly_honoured() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "p=0.3 gave {hits}/100000");
+        assert!((0..1000).all(|_| rng.random_bool(1.0)));
+        assert!(!(0..1000).any(|_| rng.random_bool(0.0)));
+    }
+}

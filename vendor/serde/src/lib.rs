@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`.
+//!
+//! `Serialize` and `Deserialize` are blanket-implemented marker traits:
+//! every type satisfies a `T: Serialize` bound, and the derive macros
+//! (re-exported from the stub `serde_derive`) expand to nothing. This is
+//! sound here because the workspace never serializes through serde — it
+//! only carries the derives so the real crate can be dropped back in.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub mod de {
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,18 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize`; nothing
+//! serializes through serde at runtime (persistence is hand-written CSV
+//! in `pps-core::trace_io` and `pps-core::fault`). The blanket marker
+//! impls live in the `serde` stub, so these derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
