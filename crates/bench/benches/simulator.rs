@@ -9,11 +9,12 @@ use std::hint::black_box;
 use pps_analysis::compare_bufferless;
 use pps_core::prelude::*;
 use pps_reference::oq::run_oq;
+use pps_switch::demux::buffered::BufferedRoundRobinDemux;
 use pps_switch::demux::{
     CpaDemux, FtdDemux, PerFlowRoundRobinDemux, RandomDemux, RoundRobinDemux,
     StaleLeastLoadedDemux, StaticPartitionDemux,
 };
-use pps_switch::engine::run_bufferless;
+use pps_switch::engine::{run_buffered, run_bufferless};
 use pps_traffic::gen::BernoulliGen;
 
 fn full_load_trace(n: usize, slots: Slot) -> Trace {
@@ -42,6 +43,44 @@ fn bench_engine_throughput(c: &mut Criterion) {
                 })
             },
         );
+    }
+    g.finish();
+}
+
+/// Slot-loop throughput (slots/second), bufferless vs input-buffered, on
+/// the hot path the allocation-lean snapshot/decision plumbing serves.
+fn bench_slot_throughput(c: &mut Criterion) {
+    let (k, r_prime, buffer) = (8usize, 4usize, 4usize);
+    let mut g = c.benchmark_group("slot_throughput");
+    g.sample_size(10);
+    for &n in &[32usize, 128, 512] {
+        let slots = match n {
+            32 => 4_000u64,
+            128 => 1_000,
+            _ => 250,
+        };
+        let trace = BernoulliGen::uniform(0.9, 13).trace(n, slots);
+        g.throughput(Throughput::Elements(slots));
+        g.bench_with_input(BenchmarkId::new("bufferless", n), &trace, |b, t| {
+            b.iter(|| {
+                run_bufferless(
+                    PpsConfig::bufferless(n, k, r_prime),
+                    RoundRobinDemux::new(n, k),
+                    black_box(t),
+                )
+                .unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("buffered", n), &trace, |b, t| {
+            b.iter(|| {
+                run_buffered(
+                    PpsConfig::buffered(n, k, r_prime, buffer),
+                    BufferedRoundRobinDemux::new(n, k),
+                    black_box(t),
+                )
+                .unwrap()
+            })
+        });
     }
     g.finish();
 }
@@ -125,6 +164,7 @@ fn bench_lockstep(c: &mut Criterion) {
 criterion_group!(
     simulator,
     bench_engine_throughput,
+    bench_slot_throughput,
     bench_shadow_oq,
     bench_demux_algorithms,
     bench_lockstep

@@ -168,6 +168,13 @@ impl BufferedDecision {
             arrival: arrived.then_some(ArrivalAction::Enqueue),
         }
     }
+
+    /// Empty the decision (keeping the `releases` allocation) so the same
+    /// instance can be refilled slot after slot.
+    pub fn clear(&mut self) {
+        self.releases.clear();
+        self.arrival = None;
+    }
 }
 
 /// An input-buffered demultiplexing algorithm (paper, Definition 2).
@@ -177,14 +184,16 @@ pub trait BufferedDemultiplexor: Send {
 
     /// Per-slot decision for one input port. `buffer` lists the currently
     /// stored cells head-to-tail; `arrival` is this slot's incoming cell,
-    /// if any.
+    /// if any. The decision is written into `out`, which the engine hands
+    /// in cleared and reuses across slots so deciding allocates nothing.
     fn slot_decision(
         &mut self,
         input: PortId,
         arrival: Option<&Cell>,
         buffer: &[Cell],
         ctx: &DispatchCtx<'_>,
-    ) -> BufferedDecision;
+        out: &mut BufferedDecision,
+    );
 
     /// Return the automaton to its initial configuration.
     fn reset(&mut self);

@@ -117,6 +117,18 @@ impl SnapshotRing {
         }
     }
 
+    /// Take back the slot that the next [`push`](Self::push) would evict,
+    /// so the caller can overwrite its buffers in place instead of
+    /// allocating a fresh snapshot every slot. Returns `None` while the
+    /// ring is still filling (the first `delay + 1` pushes).
+    pub fn recycle_slot(&mut self) -> Option<GlobalSnapshot> {
+        if self.ring.len() > self.delay as usize {
+            self.ring.pop_front()
+        } else {
+            None
+        }
+    }
+
     /// The view available at `now`: the snapshot taken at `now − delay`, or
     /// `None` during the first `delay` slots of the run (when no
     /// sufficiently old global information exists yet — the paper's `[0,
@@ -170,6 +182,22 @@ mod tests {
         ring.push(snap(1, &[0, 0, 0, 0]));
         assert!(ring.view(1).is_none());
         assert!(ring.view(4).is_none());
+    }
+
+    #[test]
+    fn recycle_returns_the_slot_push_would_evict() {
+        let mut ring = SnapshotRing::new(2);
+        for t in 0..3 {
+            assert!(ring.recycle_slot().is_none(), "ring still filling at {t}");
+            ring.push(snap(t, &[0, 0, 0, 0]));
+        }
+        // Full: recycling hands back the oldest snapshot for reuse, and a
+        // subsequent push restores the invariant length of delay + 1.
+        let old = ring.recycle_slot().expect("ring full");
+        assert_eq!(old.taken_at, 0);
+        ring.push(snap(3, &[0, 0, 0, 0]));
+        assert_eq!(ring.view(3).unwrap().taken_at, 1);
+        assert_eq!(ring.view(5).unwrap().taken_at, 3);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! `centralized < u-RT < fully-distributed` is the information hierarchy
 //! of the paper made visible through faults instead of delay.
 
+use crate::sweep::SweepPlan;
 use crate::ExperimentOutput;
 use pps_analysis::{compare_bufferless_faulted, fault_impact, FaultImpact, Table};
 use pps_core::prelude::*;
@@ -81,9 +82,13 @@ pub fn run() -> ExperimentOutput {
         format!("Plane-0 failure at N={n}, K={k}, r'={r_prime}, Bernoulli load 0.7"),
         &["algorithm", "aggregate loss", "worst per-input loss"],
     );
-    let rr = point(cfg, RoundRobinDemux::new(n, k), &trace);
-    let sp = point(cfg, StaticPartitionDemux::minimal(n, k, r_prime), &trace);
-    let ftd = point(cfg, FtdDemux::new(n, k, r_prime, 2), &trace);
+    let static_plan = SweepPlan::new("a1-static", vec![0usize, 1, 2]);
+    let static_results = static_plan.run(|pt| match pt.params {
+        0 => point(cfg, RoundRobinDemux::new(n, k), &trace),
+        1 => point(cfg, StaticPartitionDemux::minimal(n, k, r_prime), &trace),
+        _ => point(cfg, FtdDemux::new(n, k, r_prime, 2), &trace),
+    });
+    let (rr, sp, ftd) = (static_results[0], static_results[1], static_results[2]);
     for (name, (agg, worst)) in [("round-robin", rr), ("static-partition", sp), ("ftd", ftd)] {
         table.row_display(&[
             name.to_string(),
@@ -103,21 +108,25 @@ pub fn run() -> ExperimentOutput {
         .plane_up(0, window.1);
     let fcfg = cfg.with_watchdog(32);
     let u = 32;
-    let fd = recovery_point(fcfg, RoundRobinDemux::new(n, k), &trace, &plan, window);
-    let urt = recovery_point(
-        fcfg,
-        FaultAwareRoundRobinDemux::urt(n, k, u),
-        &trace,
-        &plan,
-        window,
-    );
-    let cent = recovery_point(
-        fcfg,
-        FaultAwareRoundRobinDemux::centralized(n, k),
-        &trace,
-        &plan,
-        window,
-    );
+    let recovery_plan = SweepPlan::new("a1-recover", vec![0usize, 1, 2]);
+    let recovery_results = recovery_plan.run(|pt| match pt.params {
+        0 => recovery_point(fcfg, RoundRobinDemux::new(n, k), &trace, &plan, window),
+        1 => recovery_point(
+            fcfg,
+            FaultAwareRoundRobinDemux::urt(n, k, u),
+            &trace,
+            &plan,
+            window,
+        ),
+        _ => recovery_point(
+            fcfg,
+            FaultAwareRoundRobinDemux::centralized(n, k),
+            &trace,
+            &plan,
+            window,
+        ),
+    });
+    let [fd, urt, cent]: [FaultImpact; 3] = recovery_results.try_into().expect("three classes");
     let mut recovery_table = Table::new(
         format!(
             "Fail→recover (plane 0 down @{}, up @{}, watchdog 32, u = {u})",

@@ -3,6 +3,7 @@
 //! Sweeping `S` across the threshold shows the crossover: deadline misses
 //! and relative delay appear exactly when `S < 2`.
 
+use crate::sweep::SweepPlan;
 use crate::ExperimentOutput;
 use pps_analysis::{lockstep::Comparison, Table};
 use pps_core::prelude::*;
@@ -42,8 +43,9 @@ pub fn run() -> ExperimentOutput {
     let mut pass = true;
     let mut at_or_above_ok = true;
     let mut below_degrades = false;
-    for k in [4usize, 6, 8, 12, 16] {
-        let (s, max_rd, misses) = point(n, k, r_prime, &trace);
+    let plan = SweepPlan::new("a2", vec![4usize, 6, 8, 12, 16]);
+    let results = plan.run(|pt| point(n, *pt.params, r_prime, &trace));
+    for (&k, (s, max_rd, misses)) in plan.points().iter().zip(results) {
         if s >= 2.0 {
             at_or_above_ok &= max_rd <= 0 && misses == 0;
         } else {

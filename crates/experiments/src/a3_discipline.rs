@@ -8,6 +8,7 @@
 //! * `Greedy` — maximal output utilization, may reorder flows (model
 //!   violation; quantified via the order checker).
 
+use crate::sweep::SweepPlan;
 use crate::ExperimentOutput;
 use pps_analysis::{compare_bufferless, Table};
 use pps_core::prelude::*;
@@ -47,9 +48,16 @@ pub fn run() -> ExperimentOutput {
             "flow reorders",
         ],
     );
-    let ff = point(n, k, r_prime, OutputDiscipline::FlowFifo, &trace);
-    let gf = point(n, k, r_prime, OutputDiscipline::GlobalFcfs, &trace);
-    let gr = point(n, k, r_prime, OutputDiscipline::Greedy, &trace);
+    let plan = SweepPlan::new(
+        "a3",
+        vec![
+            OutputDiscipline::FlowFifo,
+            OutputDiscipline::GlobalFcfs,
+            OutputDiscipline::Greedy,
+        ],
+    );
+    let results = plan.run(|pt| point(n, k, r_prime, *pt.params, &trace));
+    let (ff, gf, gr) = (results[0], results[1], results[2]);
     for (name, (max, mean, reorders)) in [("flow-fifo", ff), ("global-fcfs", gf), ("greedy", gr)] {
         table.row_display(&[
             name.to_string(),

@@ -8,11 +8,20 @@
 //! ppslab --markdown  # emit GitHub-flavoured markdown instead of text
 //! ppslab --out results/   # also write every table as CSV into results/
 //! ppslab perf        # quick simulator-throughput summary
-//! ppslab --parallel  # run the (independent) experiments concurrently
+//! ppslab --jobs 4    # worker budget (default: available parallelism; 1 = serial)
+//! ppslab --parallel  # legacy alias for the default (kept for old scripts)
+//! ppslab --bench-json BENCH_experiments.json   # record wall-clock + slots/sec
 //! ppslab custom --n 32 --k 8 --rprime 4 --algo rr --workload attack
 //! ```
+//!
+//! Whatever `--jobs` says, the printed tables are byte-identical: the sweep
+//! executor merges results in declared order (see `pps_experiments::sweep`).
+//! `--bench-json` times experiments one at a time (their inner sweeps still
+//! use the worker budget) so the per-experiment numbers are attributable,
+//! and writes them as JSON.
 
-use pps_experiments::registry;
+use pps_experiments::sweep::SweepPlan;
+use pps_experiments::{registry, ExperimentOutput};
 
 /// Quick simulator performance summary (no criterion; for the README's
 /// throughput claims use `cargo bench -p pps-bench`).
@@ -47,6 +56,42 @@ fn perf() {
     }
 }
 
+/// Per-experiment benchmark record: `(id, wall seconds, simulated slots)`.
+type BenchEntry = (&'static str, f64, u64);
+
+/// Serialize the benchmark records by hand (two levels of objects — not
+/// worth a JSON dependency).
+fn bench_json(jobs: usize, total_seconds: f64, entries: &[BenchEntry]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"suite\": \"ppslab\",\n");
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!("  \"total_wall_seconds\": {total_seconds:.3},\n"));
+    out.push_str("  \"experiments\": [\n");
+    for (i, (id, secs, slots)) in entries.iter().enumerate() {
+        let rate = if *secs > 0.0 {
+            *slots as f64 / secs
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "    {{\"id\": \"{id}\", \"wall_seconds\": {secs:.3}, \"slots\": {slots}, \
+             \"slots_per_sec\": {rate:.0}}}{}\n",
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("error: {flag} needs a value");
+            std::process::exit(2);
+        })
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("perf") {
@@ -65,17 +110,31 @@ fn main() {
     }
     let csv = args.iter().any(|a| a == "--csv");
     let markdown = args.iter().any(|a| a == "--markdown");
-    let out_dir: Option<String> = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned());
+    let out_dir = flag_value(&args, "--out").cloned();
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create --out directory");
     }
+    let bench_path = flag_value(&args, "--bench-json").cloned();
+    // Worker budget: explicit --jobs wins; otherwise use every core
+    // (--parallel is the legacy spelling of that default). Tables come out
+    // byte-identical either way — see the sweep executor's contract.
+    let jobs: usize = match flag_value(&args, "--jobs") {
+        Some(v) => v.parse().unwrap_or_else(|e| {
+            eprintln!("error: --jobs: {e}");
+            std::process::exit(2);
+        }),
+        None => std::thread::available_parallelism().map_or(1, usize::from),
+    };
+    pps_experiments::sweep::set_jobs(jobs);
+    // Positional args select experiments; skip the values of value-taking
+    // flags.
+    let value_flags = ["--out", "--jobs", "--bench-json"];
     let wanted: Vec<&String> = args
         .iter()
         .enumerate()
-        .filter(|(i, a)| !a.starts_with("--") && (*i == 0 || args[*i - 1] != "--out"))
+        .filter(|(i, a)| {
+            !a.starts_with("--") && (*i == 0 || !value_flags.contains(&args[*i - 1].as_str()))
+        })
         .map(|(_, a)| a)
         .collect();
     let reg = registry();
@@ -85,28 +144,38 @@ fn main() {
         }
         return;
     }
-    let parallel = args.iter().any(|a| a == "--parallel");
     let selected: Vec<_> = reg
         .iter()
         .filter(|(id, _)| wanted.is_empty() || wanted.iter().any(|w| w.as_str() == *id))
         .collect();
-    // Run (optionally in parallel — experiments are independent), then
-    // print in paper order.
-    let outputs: Vec<pps_experiments::ExperimentOutput> = if parallel {
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = selected
-                .iter()
-                .map(|(_, runner)| scope.spawn(move |_| runner()))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("experiment"))
-                .collect()
-        })
-        .expect("scope")
+    // Run, then print in paper order. The registry-level sweep shares the
+    // one worker budget with every experiment's inner sweeps, so --jobs
+    // bounds total threads whatever the nesting. Benchmarking instead
+    // times experiments one at a time so wall-clock and simulated-slot
+    // deltas attribute to a single experiment (inner sweeps still use the
+    // budget).
+    let suite_start = std::time::Instant::now();
+    let mut bench: Vec<BenchEntry> = Vec::new();
+    let outputs: Vec<ExperimentOutput> = if bench_path.is_some() {
+        selected
+            .iter()
+            .map(|(id, runner)| {
+                let slots0 = pps_switch::perf::slots_simulated();
+                let start = std::time::Instant::now();
+                let out = runner();
+                let secs = start.elapsed().as_secs_f64();
+                bench.push((id, secs, pps_switch::perf::slots_simulated() - slots0));
+                out
+            })
+            .collect()
     } else {
-        selected.iter().map(|(_, runner)| runner()).collect()
+        let plan = SweepPlan::new("registry", (0..selected.len()).collect());
+        plan.run(|pt| (selected[*pt.params].1)())
     };
+    if let Some(path) = &bench_path {
+        let json = bench_json(jobs, suite_start.elapsed().as_secs_f64(), &bench);
+        std::fs::write(path, json).expect("write --bench-json file");
+    }
     let mut failures = 0usize;
     for out in outputs {
         if markdown {

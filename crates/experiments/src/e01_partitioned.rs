@@ -7,6 +7,7 @@
 //! groups of size `d` that share an `r'`-plane subset. The adversary then
 //! aligns one group and fires the Figure 2 burst.
 
+use crate::sweep::SweepPlan;
 use crate::ExperimentOutput;
 use pps_analysis::{compare_bufferless, Table};
 use pps_core::prelude::*;
@@ -81,12 +82,18 @@ pub fn run() -> ExperimentOutput {
         ],
     );
     let mut pass = true;
-    for d in [2usize, 4, 8, 16, 32] {
-        let p = Params { n, k, r_prime, d };
-        let (aligned, paper, exact, delay, jitter, b) = point(p);
+    let plan = SweepPlan::new(
+        "e1",
+        [2usize, 4, 8, 16, 32]
+            .into_iter()
+            .map(|d| Params { n, k, r_prime, d })
+            .collect(),
+    );
+    let results = plan.run(|pt| point(*pt.params));
+    for (p, (aligned, paper, exact, delay, jitter, b)) in plan.points().iter().zip(results) {
         pass &= delay as u64 >= exact && jitter as u64 >= exact && b == 0;
         table.row_display(&[
-            d.to_string(),
+            p.d.to_string(),
             aligned.to_string(),
             paper.to_string(),
             exact.to_string(),

@@ -5,6 +5,7 @@
 //!
 //! Victim: the per-input round robin. Sweep: `N`.
 
+use crate::sweep::SweepPlan;
 use crate::ExperimentOutput;
 use pps_analysis::{compare_bufferless, Table};
 use pps_core::prelude::*;
@@ -49,8 +50,9 @@ pub fn run() -> ExperimentOutput {
         ],
     );
     let mut pass = true;
-    for n in [8usize, 16, 32, 64, 128] {
-        let (d, paper, exact, delay, jitter, b) = point(n, k, r_prime);
+    let plan = SweepPlan::new("e2", vec![8usize, 16, 32, 64, 128]);
+    let results = plan.run(|pt| point(*pt.params, k, r_prime));
+    for (&n, (d, paper, exact, delay, jitter, b)) in plan.points().iter().zip(results) {
         pass &= d == n && delay as u64 >= exact && jitter as u64 >= exact && b == 0;
         table.row_display(&[
             n.to_string(),

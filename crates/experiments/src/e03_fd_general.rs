@@ -8,6 +8,7 @@
 //! exactly `r'` planes) — the algorithm that concentrates least among
 //! legal fully-distributed ones. Sweep: the speedup `S` via `K`.
 
+use crate::sweep::SweepPlan;
 use crate::ExperimentOutput;
 use pps_analysis::{compare_bufferless, Table};
 use pps_core::prelude::*;
@@ -60,8 +61,10 @@ pub fn run() -> ExperimentOutput {
         ],
     );
     let mut pass = true;
-    for k in [4usize, 8, 16, 32, 64] {
-        let (s, n_over_s, d, paper, exact, delay, jitter, b) = point(n, k, r_prime);
+    let plan = SweepPlan::new("e3", vec![4usize, 8, 16, 32, 64]);
+    let results = plan.run(|pt| point(n, *pt.params, r_prime));
+    for (&k, (s, n_over_s, d, paper, exact, delay, jitter, b)) in plan.points().iter().zip(results)
+    {
         // The minimal partition concentrates at least N/S inputs on some
         // plane; the adversary should find (at least) that many.
         pass &= d as u64 >= n_over_s && delay as u64 >= exact && jitter as u64 >= exact && b == 0;

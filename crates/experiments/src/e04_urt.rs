@@ -8,6 +8,7 @@
 //! identical plane sequences and concentrate `m = u'·N/K` cells per plane.
 //! Sweep: the information delay `u`.
 
+use crate::sweep::SweepPlan;
 use crate::ExperimentOutput;
 use pps_analysis::{compare_bufferless, Table};
 use pps_core::prelude::*;
@@ -61,8 +62,11 @@ pub fn run() -> ExperimentOutput {
         ],
     );
     let mut pass = true;
-    for u in [1u64, 2, 3, 4, 8] {
-        let (u_eff, m, paper, exact, delay, jitter, b, premise) = point(n, k, r_prime, u);
+    let plan = SweepPlan::new("e4", vec![1u64, 2, 3, 4, 8]);
+    let results = plan.run(|pt| point(n, k, r_prime, *pt.params));
+    for (&u, (u_eff, m, paper, exact, delay, jitter, b, premise)) in
+        plan.points().iter().zip(results)
+    {
         pass &= delay as u64 >= exact && jitter as u64 >= exact && b <= premise;
         table.row_display(&[
             u.to_string(),

@@ -7,6 +7,7 @@
 //! even one slot of information lag is enough for the bound.
 
 use crate::e04_urt;
+use crate::sweep::SweepPlan;
 use crate::ExperimentOutput;
 use pps_analysis::Table;
 
@@ -27,8 +28,11 @@ pub fn run() -> ExperimentOutput {
         ],
     );
     let mut pass = true;
-    for n in [16usize, 32, 64, 128] {
-        let (_u_eff, m, paper, exact, delay, jitter, b, premise) = e04_urt::point(n, k, r_prime, 1);
+    let plan = SweepPlan::new("e5", vec![16usize, 32, 64, 128]);
+    let results = plan.run(|pt| e04_urt::point(*pt.params, k, r_prime, 1));
+    for (&n, (_u_eff, m, paper, exact, delay, jitter, b, premise)) in
+        plan.points().iter().zip(results)
+    {
         pass &= delay as u64 >= exact && jitter as u64 >= exact && b <= premise;
         table.row_display(&[
             n.to_string(),

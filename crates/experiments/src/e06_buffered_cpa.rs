@@ -8,6 +8,7 @@
 //! including the very attack traffics that defeat the distributed
 //! algorithms. Sweep: `u` (buffer = `u`).
 
+use crate::sweep::SweepPlan;
 use crate::ExperimentOutput;
 use pps_analysis::{compare_buffered, Table};
 use pps_core::prelude::*;
@@ -69,18 +70,27 @@ pub fn run() -> ExperimentOutput {
         &["u", "workload", "measured max rel delay", "claim"],
     );
     let mut pass = true;
-    for u in [1u64, 2, 4, 8] {
-        for (name, trace) in workloads(n, k, r_prime) {
-            let (max_rd, undelivered, dropped) = point(n, k, r_prime, u, &trace);
-            let ok = max_rd <= u as i64 && undelivered == 0 && dropped == 0;
-            pass &= ok;
-            table.row_display(&[
-                u.to_string(),
-                name.to_string(),
-                max_rd.to_string(),
-                format!("<= {u}: {}", if ok { "holds" } else { "VIOLATED" }),
-            ]);
-        }
+    let loads = workloads(n, k, r_prime);
+    let plan = SweepPlan::new(
+        "e6",
+        [1u64, 2, 4, 8]
+            .into_iter()
+            .flat_map(|u| (0..loads.len()).map(move |w| (u, w)))
+            .collect(),
+    );
+    let results = plan.run(|pt| {
+        let (u, w) = *pt.params;
+        point(n, k, r_prime, u, &loads[w].1)
+    });
+    for (&(u, w), (max_rd, undelivered, dropped)) in plan.points().iter().zip(results) {
+        let ok = max_rd <= u as i64 && undelivered == 0 && dropped == 0;
+        pass &= ok;
+        table.row_display(&[
+            u.to_string(),
+            loads[w].0.to_string(),
+            max_rd.to_string(),
+            format!("<= {u}: {}", if ok { "holds" } else { "VIOLATED" }),
+        ]);
     }
     ExperimentOutput {
         id: "e6",

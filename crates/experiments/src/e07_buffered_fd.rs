@@ -7,6 +7,7 @@
 //! the concentration — it can only add delay. Victim: buffered round
 //! robin. Sweep: the buffer size.
 
+use crate::sweep::SweepPlan;
 use crate::ExperimentOutput;
 use pps_analysis::{compare_buffered, Table};
 use pps_core::prelude::*;
@@ -63,8 +64,9 @@ pub fn run() -> ExperimentOutput {
         ],
     );
     let mut pass = true;
-    for buffer in [1usize, 4, 16, 64, 256] {
-        let (paper, exact, delay, jitter, b) = point(n, k, r_prime, buffer);
+    let plan = SweepPlan::new("e7", vec![1usize, 4, 16, 64, 256]);
+    let results = plan.run(|pt| point(n, k, r_prime, *pt.params));
+    for (&buffer, (paper, exact, delay, jitter, b)) in plan.points().iter().zip(results) {
         pass &= delay as u64 >= paper && delay as u64 >= exact && jitter as u64 >= paper && b == 0;
         table.row_display(&[
             buffer.to_string(),

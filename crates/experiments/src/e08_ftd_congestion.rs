@@ -14,6 +14,7 @@
 //! the window (expected 0 — both switches emit the `k`-th congested cell
 //! in the same slot).
 
+use crate::sweep::SweepPlan;
 use crate::ExperimentOutput;
 use pps_analysis::{metrics, Table};
 use pps_core::prelude::*;
@@ -103,8 +104,9 @@ pub fn run() -> ExperimentOutput {
     );
     let mut pass = true;
     let mut warmups = Vec::new();
-    for h in [2usize, 3, 4] {
-        let out = point(n, k, r_prime, h, duration);
+    let plan = SweepPlan::new("e8", vec![2usize, 3, 4]);
+    let results = plan.run(|pt| point(n, k, r_prime, *pt.params, duration));
+    for (&h, out) in plan.points().iter().zip(results) {
         let warm = out.congestion_start;
         warmups.push((h, warm));
         pass &=

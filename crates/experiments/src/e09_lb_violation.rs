@@ -7,6 +7,7 @@
 //! so no fixed `B` covers all durations. This is why Theorem 14 does not
 //! contradict Theorem 8.
 
+use crate::sweep::SweepPlan;
 use crate::ExperimentOutput;
 use pps_analysis::Table;
 use pps_traffic::adversary::congestion_traffic;
@@ -25,15 +26,20 @@ pub fn run() -> ExperimentOutput {
         ],
     );
     let mut pass = true;
-    let mut prev_b = 0u64;
-    for duration in [50u64, 100, 200, 400, 800] {
-        let c = congestion_traffic(n, 0, 2, duration);
+    let plan = SweepPlan::new("e9", vec![50u64, 100, 200, 400, 800]);
+    let results = plan.run(|pt| {
+        let c = congestion_traffic(n, 0, 2, *pt.params);
         let b = min_burstiness(&c.trace, n).overall();
-        pass &= b == c.expected_burstiness && b > prev_b;
+        (c.expected_burstiness, b)
+    });
+    // Cross-point monotonicity runs after the merge, over ordered results.
+    let mut prev_b = 0u64;
+    for (&duration, (expected, b)) in plan.points().iter().zip(results) {
+        pass &= b == expected && b > prev_b;
         prev_b = b;
         table.row_display(&[
             duration.to_string(),
-            c.expected_burstiness.to_string(),
+            expected.to_string(),
             b.to_string(),
             format!("{:.2}", b as f64 / duration as f64),
         ]);

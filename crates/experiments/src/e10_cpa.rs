@@ -7,6 +7,7 @@
 //! dissolves the Ω(N) delays entirely — which is exactly why the paper's
 //! taxonomy (centralized / u-RT / fully-distributed) is the story.
 
+use crate::sweep::SweepPlan;
 use crate::ExperimentOutput;
 use pps_analysis::Table;
 use pps_core::prelude::*;
@@ -80,11 +81,13 @@ pub fn run() -> ExperimentOutput {
         ],
     );
     let mut pass = true;
-    for (name, trace) in workloads(n, k, r_prime) {
-        let (max_rd, undelivered, misses) = point(n, k, r_prime, &trace);
+    let loads = workloads(n, k, r_prime);
+    let plan = SweepPlan::new("e10", (0..loads.len()).collect());
+    let results = plan.run(|pt| point(n, k, r_prime, &loads[*pt.params].1));
+    for (&w, (max_rd, undelivered, misses)) in plan.points().iter().zip(results) {
         pass &= max_rd <= 0 && undelivered == 0 && misses == 0;
         table.row_display(&[
-            name.to_string(),
+            loads[w].0.to_string(),
             max_rd.to_string(),
             undelivered.to_string(),
             misses.to_string(),

@@ -9,6 +9,7 @@
 //! and under heavy admissible loads (typical side), and check everything
 //! sits inside the `[(R/r−1)(N−1), (R/r)·N]` window.
 
+use crate::sweep::SweepPlan;
 use crate::ExperimentOutput;
 use pps_analysis::{compare_bufferless, Table};
 use pps_core::prelude::*;
@@ -31,22 +32,32 @@ pub fn run() -> ExperimentOutput {
         ],
     );
     let mut pass = true;
-    for n in [8usize, 16, 32, 64] {
+    let plan = SweepPlan::new("e11", vec![8usize, 16, 32, 64]);
+    let results = plan.run(|pt| {
+        let n = *pt.params;
         let cfg = PpsConfig::bufferless(n, k, r_prime);
         let demux = PerFlowRoundRobinDemux::new(n, k);
         let atk = concentration_attack(&demux, &cfg, &(0..n as u32).collect::<Vec<_>>(), 4 * k);
         let attack_cmp = compare_bufferless(cfg, demux.clone(), &atk.trace).expect("run");
-        let attack_delay = attack_cmp.relative_delay().max;
         let bern = BernoulliGen::uniform(0.9, 31).trace(n, 1_500);
         let bern_cmp = compare_bufferless(cfg, demux, &bern).expect("run");
-        let bern_delay = bern_cmp.relative_delay().max;
-        let lower = atk.model_exact_bound;
+        (
+            atk.model_exact_bound,
+            attack_cmp.relative_delay().max,
+            bern_cmp.relative_delay().max,
+            attack_cmp.relative_delay().pps_undelivered,
+            bern_cmp.relative_delay().pps_undelivered,
+        )
+    });
+    for (&n, (lower, attack_delay, bern_delay, atk_undeliv, bern_undeliv)) in
+        plan.points().iter().zip(results)
+    {
         let upper = (n * r_prime) as i64;
         let ok = attack_delay as u64 >= lower
             && attack_delay <= upper
             && bern_delay <= upper
-            && attack_cmp.relative_delay().pps_undelivered == 0
-            && bern_cmp.relative_delay().pps_undelivered == 0;
+            && atk_undeliv == 0
+            && bern_undeliv == 0;
         pass &= ok;
         table.row_display(&[
             n.to_string(),

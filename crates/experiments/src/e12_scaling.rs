@@ -8,6 +8,7 @@
 //! confirming the linear-in-N wall. Points run in parallel (they are
 //! independent simulations).
 
+use crate::sweep::SweepPlan;
 use crate::ExperimentOutput;
 use pps_analysis::{compare_bufferless, Table};
 use pps_core::prelude::*;
@@ -37,18 +38,8 @@ pub fn point(n: usize, k: usize, r_prime: usize) -> (usize, u64, i64, usize) {
 /// Run the default sweep, in parallel across points.
 pub fn run() -> ExperimentOutput {
     let (k, r_prime) = (8, 4); // S = 2
-    let ns = [64usize, 128, 256, 512, 1024];
-    let results: Vec<(usize, u64, i64, usize)> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = ns
-            .iter()
-            .map(|&n| s.spawn(move |_| point(n, k, r_prime)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("point"))
-            .collect()
-    })
-    .expect("scope");
+    let plan = SweepPlan::new("e12", vec![64usize, 128, 256, 512, 1024]);
+    let results = plan.run(|pt| point(*pt.params, k, r_prime));
     let mut table = Table::new(
         format!("Scaling to N=1024 at K={k}, r'={r_prime}, S=2 (slope should be ~ R/r-1 = 3)"),
         &[

@@ -16,6 +16,7 @@
 //! a small typical-case penalty — its Θ(N) cost is a *worst-case* story
 //! (E2), which is the paper's point.
 
+use crate::sweep::SweepPlan;
 use crate::ExperimentOutput;
 use pps_analysis::Table;
 use pps_core::prelude::*;
@@ -69,8 +70,9 @@ pub fn run() -> ExperimentOutput {
         ],
     );
     let mut pass = true;
-    for load in [0.5f64, 0.7, 0.9, 0.99] {
-        let [oq, xb, cpa, rr] = point(n, k, r_prime, load, 77);
+    let plan = SweepPlan::new("e13", vec![0.5f64, 0.7, 0.9, 0.99]);
+    let results = plan.run(|pt| point(n, k, r_prime, *pt.params, 77));
+    for (&load, [oq, xb, cpa, rr]) in plan.points().iter().zip(results) {
         // Sanity: everything drains; the ideal OQ is never beaten on mean.
         pass &= oq.2 == 0 && xb.2 == 0 && cpa.2 == 0 && rr.2 == 0;
         pass &= xb.0 + 1e-9 >= oq.0 && cpa.0 + 1e-9 >= oq.0 && rr.0 + 1e-9 >= oq.0;

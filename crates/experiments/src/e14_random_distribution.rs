@@ -18,6 +18,7 @@
 //! min/mean/p95/max, next to the balls-in-bins mean prediction and the
 //! seed-aware (= deterministic) ceiling.
 
+use crate::sweep::SweepPlan;
 use crate::ExperimentOutput;
 use pps_analysis::{compare_bufferless, Table};
 use pps_core::prelude::*;
@@ -61,13 +62,12 @@ pub struct DelayDistribution {
 
 /// Sample the oblivious-attack delay distribution over `seeds` seeds.
 pub fn distribution(n: usize, k: usize, r_prime: usize, seeds: u64) -> DelayDistribution {
-    let mut delays = Vec::with_capacity(seeds as usize);
-    let mut conc_sum = 0usize;
-    for seed in 0..seeds {
-        let (d, c) = oblivious_point(n, k, r_prime, seed);
-        delays.push(d);
-        conc_sum += c;
-    }
+    // The seeds are the literal parameters of the study (0..seeds), so the
+    // distribution is unchanged by how the points are scheduled.
+    let plan = SweepPlan::new("e14-dist", (0..seeds).collect());
+    let samples = plan.run(|pt| oblivious_point(n, k, r_prime, *pt.params));
+    let mut delays: Vec<i64> = samples.iter().map(|&(d, _)| d).collect();
+    let conc_sum: usize = samples.iter().map(|&(_, c)| c).sum();
     delays.sort_unstable();
     let mean = delays.iter().sum::<i64>() as f64 / delays.len() as f64;
     DelayDistribution {
@@ -96,17 +96,25 @@ pub fn run() -> ExperimentOutput {
         ],
     );
     let mut pass = true;
-    for n in [16usize, 32, 64] {
+    let plan = SweepPlan::new("e14", vec![16usize, 32, 64]);
+    let results = plan.run(|pt| {
+        let n = *pt.params;
         let dist = distribution(n, k, r_prime, seeds);
-        // Balls-in-bins mean prediction for the max bin.
-        let lam = n as f64 / k as f64;
-        let predict = lam + (2.0 * lam * (k as f64).ln()).sqrt();
         // Seed-aware adversary reaches the deterministic ceiling.
         let demux = RandomDemux::new(n, 424_242);
         let cfg = PpsConfig::bufferless(n, k, r_prime);
         let aware = concentration_attack(&demux, &cfg, &(0..n as u32).collect::<Vec<_>>(), 32 * k);
         let aware_cmp = compare_bufferless(cfg, demux, &aware.trace).expect("run");
-        let ceiling = aware_cmp.relative_delay().max;
+        (
+            dist,
+            aware.model_exact_bound,
+            aware_cmp.relative_delay().max,
+        )
+    });
+    for (&n, (dist, aware_exact_bound, ceiling)) in plan.points().iter().zip(results) {
+        // Balls-in-bins mean prediction for the max bin.
+        let lam = n as f64 / k as f64;
+        let predict = lam + (2.0 * lam * (k as f64).ln()).sqrt();
         // Shape checks: (a) the oblivious distribution never exceeds the
         // seed-aware ceiling and is strictly positive in the mean; (b) the
         // measured concentration tracks the balls-in-bins prediction; (c)
@@ -114,10 +122,7 @@ pub fn run() -> ExperimentOutput {
         pass &= dist.min >= 0 && dist.mean > 0.0;
         pass &= dist.max <= ceiling;
         pass &= (dist.mean_concentration - predict).abs() < predict * 0.5;
-        pass &= ceiling as u64
-            >= aware
-                .model_exact_bound
-                .saturating_sub((r_prime as u64 - 1) * 2);
+        pass &= ceiling as u64 >= aware_exact_bound.saturating_sub((r_prime as u64 - 1) * 2);
         table.row_display(&[
             n.to_string(),
             format!("{predict:.1}"),

@@ -10,6 +10,7 @@
 //! regulator needs to flatten the run to constant delay. All three grow
 //! linearly with `N` — the delay bound priced in memory.
 
+use crate::sweep::SweepPlan;
 use crate::ExperimentOutput;
 use pps_analysis::{compare_bufferless, Table};
 use pps_core::prelude::*;
@@ -53,8 +54,11 @@ pub fn run() -> ExperimentOutput {
     );
     let mut pass = true;
     let mut prev: Option<(usize, i64, usize)> = None;
-    for n in [32usize, 64, 128, 256] {
-        let (delay, plane_hwm, out_hwm, reg_buf, resid) = point(n, k, r_prime);
+    let plan = SweepPlan::new("e15", vec![32usize, 64, 128, 256]);
+    let results = plan.run(|pt| point(*pt.params, k, r_prime));
+    // The doubling checks compare adjacent points, so they run post-merge
+    // over the ordered results.
+    for (&n, (delay, plane_hwm, out_hwm, reg_buf, resid)) in plan.points().iter().zip(results) {
         // The regulator buffer must absorb the early cells of the
         // concentration: at least a constant fraction of N.
         pass &= reg_buf >= n / 2 && plane_hwm >= n / 2 && resid == 0;

@@ -14,6 +14,7 @@
 //! `u` slots old) and assigns conflict-free deadlines — final row of the
 //! table.
 
+use crate::sweep::SweepPlan;
 use crate::ExperimentOutput;
 use pps_analysis::{compare_buffered, compare_bufferless, Table};
 use pps_core::prelude::*;
@@ -70,12 +71,11 @@ pub fn run() -> ExperimentOutput {
         ],
     );
     let mut pass = true;
-    let mut stale_delays = Vec::new();
-    for hold in 0..=u {
-        let d = stale_point(n, k, r_prime, u, hold);
+    let plan = SweepPlan::new("e16", (0..=u).collect());
+    let stale_delays = plan.run(|pt| stale_point(n, k, r_prime, u, *pt.params));
+    for (&hold, &d) in plan.points().iter().zip(stale_delays.iter()) {
         let holds = d as u64 >= atk.model_exact_bound;
         pass &= holds;
-        stale_delays.push(d);
         table.row_display(&[
             "buffered-stale-LL".into(),
             hold.to_string(),

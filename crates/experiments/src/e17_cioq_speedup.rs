@@ -12,6 +12,7 @@
 //! `s = 2` (our scheduler is greedy EDF, not the exact
 //! critical-cells-first of the theorem), and clean mimicking from `s = 3`.
 
+use crate::sweep::SweepPlan;
 use crate::ExperimentOutput;
 use pps_analysis::{metrics, Table};
 use pps_core::prelude::*;
@@ -49,17 +50,16 @@ pub fn run() -> ExperimentOutput {
         &["speedup s", "max rel delay", "mean rel delay"],
     );
     let mut pass = true;
-    let mut results = Vec::new();
-    for s in [1usize, 2, 3, 4] {
-        let (max_rd, mean_rd) = point(n, s, &trace);
-        results.push((s, max_rd));
+    let plan = SweepPlan::new("e17", vec![1usize, 2, 3, 4]);
+    let results = plan.run(|pt| point(n, *pt.params, &trace));
+    for (&s, &(max_rd, mean_rd)) in plan.points().iter().zip(results.iter()) {
         table.row_display(&[s.to_string(), max_rd.to_string(), format!("{mean_rd:.3}")]);
     }
     // Shape: s = 1 misses clearly; s >= 2 within a one-slot greedy slip;
     // monotone non-increasing.
-    pass &= results[0].1 > 1;
-    pass &= results.iter().skip(1).all(|&(_, d)| d <= 1);
-    pass &= results.windows(2).all(|w| w[1].1 <= w[0].1);
+    pass &= results[0].0 > 1;
+    pass &= results.iter().skip(1).all(|&(d, _)| d <= 1);
+    pass &= results.windows(2).all(|w| w[1].0 <= w[0].0);
     ExperimentOutput {
         id: "e17",
         title: "Related work — CIOQ crossbar speedup threshold for OQ mimicking (~2)".into(),

@@ -14,6 +14,7 @@
 //! with `o(N)` regulator memory: the delay lower bound *is* a buffer lower
 //! bound.
 
+use crate::sweep::SweepPlan;
 use crate::ExperimentOutput;
 use pps_analysis::{compare_bufferless, Table};
 use pps_core::prelude::*;
@@ -49,10 +50,12 @@ pub fn run() -> ExperimentOutput {
         &["buffer cap", "achieved jitter", "forced releases"],
     );
     let mut pass = true;
+    let plan = SweepPlan::new("e18", vec![1usize, 2, 4, 8, 16, 32, 48, 64]);
+    let reports = plan.run(|pt| regulate_online(&log, target, *pt.params));
+    // The monotonicity check compares adjacent caps, post-merge.
     let mut prev = u64::MAX;
     let mut flattened_at = None;
-    for cap in [1usize, 2, 4, 8, 16, 32, 48, 64] {
-        let rep = regulate_online(&log, target, cap);
+    for (&cap, rep) in plan.points().iter().zip(reports.iter()) {
         pass &= rep.achieved_jitter <= prev;
         prev = rep.achieved_jitter;
         if rep.achieved_jitter == 0 && flattened_at.is_none() {

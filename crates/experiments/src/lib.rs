@@ -56,6 +56,7 @@ pub mod e15_buffer_implications;
 pub mod e16_small_buffers;
 pub mod e17_cioq_speedup;
 pub mod e18_regulator_tradeoff;
+pub mod sweep;
 
 use pps_analysis::Table;
 

@@ -30,6 +30,8 @@ pub struct BufferedRoundRobinDemux {
     /// Cap on releases per slot (default `k`; 1 makes the switch behave
     /// like a paced single-line dispatcher — useful in ablations).
     max_release: usize,
+    /// Scratch: planes already used by this slot's releases.
+    used: Vec<bool>,
 }
 
 impl BufferedRoundRobinDemux {
@@ -39,6 +41,7 @@ impl BufferedRoundRobinDemux {
             next: vec![0; n],
             k: k as u32,
             max_release: k,
+            used: vec![false; k],
         }
     }
 
@@ -60,34 +63,35 @@ impl BufferedDemultiplexor for BufferedRoundRobinDemux {
         arrival: Option<&Cell>,
         buffer: &[Cell],
         ctx: &DispatchCtx<'_>,
-    ) -> BufferedDecision {
+        out: &mut BufferedDecision,
+    ) {
         let i = input.idx();
-        let mut used: Vec<bool> = vec![false; self.k as usize];
-        let mut releases = Vec::new();
+        self.used.fill(false);
         // Release head cells while distinct free planes remain.
         for (idx, _cell) in buffer.iter().enumerate().take(self.max_release) {
             let start = self.next[i] as usize;
             let k = self.k as usize;
             let found = (0..k)
                 .map(|off| (start + off) % k)
-                .find(|&p| ctx.local.is_free(p) && !used[p]);
+                .find(|&p| ctx.local.is_free(p) && !self.used[p]);
             match found {
                 Some(p) => {
-                    used[p] = true;
+                    self.used[p] = true;
                     self.next[i] = (p as u32 + 1) % self.k;
-                    releases.push((idx, PlaneId(p as u32)));
+                    out.releases.push((idx, PlaneId(p as u32)));
                 }
                 None => break,
             }
         }
-        let arrival_action = arrival.map(|_| {
-            if buffer.len() == releases.len() && releases.len() < self.max_release {
+        let released = out.releases.len();
+        out.arrival = arrival.map(|_| {
+            if buffer.len() == released && released < self.max_release {
                 // Buffer will be empty after releases: try to send directly.
                 let start = self.next[i] as usize;
                 let k = self.k as usize;
                 if let Some(p) = (0..k)
                     .map(|off| (start + off) % k)
-                    .find(|&p| ctx.local.is_free(p) && !used[p])
+                    .find(|&p| ctx.local.is_free(p) && !self.used[p])
                 {
                     self.next[i] = (p as u32 + 1) % self.k;
                     return ArrivalAction::Dispatch(PlaneId(p as u32));
@@ -97,10 +101,6 @@ impl BufferedDemultiplexor for BufferedRoundRobinDemux {
                 ArrivalAction::Enqueue
             }
         });
-        BufferedDecision {
-            releases,
-            arrival: arrival_action,
-        }
     }
 
     fn reset(&mut self) {
@@ -210,22 +210,19 @@ impl BufferedDemultiplexor for DelayedCpaDemux {
         arrival: Option<&Cell>,
         buffer: &[Cell],
         ctx: &DispatchCtx<'_>,
-    ) -> BufferedDecision {
+        out: &mut BufferedDecision,
+    ) {
         let now = ctx.local.now;
-        let mut releases = Vec::new();
         // Buffers are FIFO: ripe cells (held >= u slots) sit at the head.
         // At one arrival per slot at most one cell ripens per slot, so a
         // single release suffices (and uses a single input line).
         if let Some(head) = buffer.first() {
             if head.arrival + self.u <= now {
                 let plane = self.assign(head, ctx);
-                releases.push((0, plane));
+                out.releases.push((0, plane));
             }
         }
-        BufferedDecision {
-            releases,
-            arrival: arrival.map(|_| ArrivalAction::Enqueue),
-        }
+        out.arrival = arrival.map(|_| ArrivalAction::Enqueue);
     }
 
     fn reset(&mut self) {
@@ -326,26 +323,23 @@ impl BufferedDemultiplexor for BufferedStaleDemux {
         arrival: Option<&Cell>,
         buffer: &[Cell],
         ctx: &DispatchCtx<'_>,
-    ) -> BufferedDecision {
+        out: &mut BufferedDecision,
+    ) {
         let now = ctx.local.now;
-        let mut releases = Vec::new();
         if let Some(head) = buffer.first() {
             if head.arrival + self.hold <= now {
                 let plane = self.pick(input.idx(), head.output.0, ctx);
-                releases.push((0, plane));
+                out.releases.push((0, plane));
             }
         }
-        let arrival_action = arrival.map(|cell| {
-            if self.hold == 0 && releases.is_empty() && buffer.is_empty() {
+        let released_none = out.releases.is_empty();
+        out.arrival = arrival.map(|cell| {
+            if self.hold == 0 && released_none && buffer.is_empty() {
                 ArrivalAction::Dispatch(self.pick(input.idx(), cell.output.0, ctx))
             } else {
                 ArrivalAction::Enqueue
             }
         });
-        BufferedDecision {
-            releases,
-            arrival: arrival_action,
-        }
     }
 
     fn reset(&mut self) {
@@ -432,19 +426,16 @@ impl BufferedDemultiplexor for ArbitratedCrossbarDemux {
         arrival: Option<&Cell>,
         buffer: &[Cell],
         ctx: &DispatchCtx<'_>,
-    ) -> BufferedDecision {
+        out: &mut BufferedDecision,
+    ) {
         let now = ctx.local.now;
-        let mut releases = Vec::new();
         if let Some(head) = buffer.first() {
             if head.arrival + self.u <= now {
                 let plane = self.grant(head.output.0, ctx);
-                releases.push((0, plane));
+                out.releases.push((0, plane));
             }
         }
-        BufferedDecision {
-            releases,
-            arrival: arrival.map(|_| ArrivalAction::Enqueue),
-        }
+        out.arrival = arrival.map(|_| ArrivalAction::Enqueue);
     }
 
     fn reset(&mut self) {
@@ -481,12 +472,24 @@ mod tests {
         }
     }
 
+    fn decide<D: BufferedDemultiplexor>(
+        d: &mut D,
+        input: PortId,
+        arrival: Option<&Cell>,
+        buffer: &[Cell],
+        ctx: &DispatchCtx<'_>,
+    ) -> BufferedDecision {
+        let mut out = BufferedDecision::default();
+        d.slot_decision(input, arrival, buffer, ctx, &mut out);
+        out
+    }
+
     #[test]
     fn buffered_rr_releases_heads_on_distinct_planes() {
         let mut d = BufferedRoundRobinDemux::new(1, 4);
         let free = vec![0u64; 4];
         let buf = [cell(0, 0, 0, 0), cell(1, 0, 1, 0), cell(2, 0, 2, 0)];
-        let dec = d.slot_decision(PortId(0), None, &buf, &ctx(5, &free));
+        let dec = decide(&mut d, PortId(0), None, &buf, &ctx(5, &free));
         assert_eq!(dec.releases.len(), 3);
         let planes: std::collections::BTreeSet<u32> =
             dec.releases.iter().map(|&(_, p)| p.0).collect();
@@ -499,7 +502,7 @@ mod tests {
         let mut d = BufferedRoundRobinDemux::new(1, 2);
         let free = vec![0u64; 2];
         let arr = cell(0, 0, 0, 5);
-        let dec = d.slot_decision(PortId(0), Some(&arr), &[], &ctx(5, &free));
+        let dec = decide(&mut d, PortId(0), Some(&arr), &[], &ctx(5, &free));
         assert!(matches!(dec.arrival, Some(ArrivalAction::Dispatch(_))));
     }
 
@@ -508,7 +511,7 @@ mod tests {
         let mut d = BufferedRoundRobinDemux::new(1, 2);
         let busy = vec![100u64, 100];
         let arr = cell(0, 0, 0, 5);
-        let dec = d.slot_decision(PortId(0), Some(&arr), &[], &ctx(5, &busy));
+        let dec = decide(&mut d, PortId(0), Some(&arr), &[], &ctx(5, &busy));
         assert_eq!(dec.arrival, Some(ArrivalAction::Enqueue));
         assert!(dec.releases.is_empty());
     }
@@ -519,10 +522,10 @@ mod tests {
         let free = vec![0u64; 4];
         let c = cell(0, 0, 1, 10);
         // At slot 12 the cell is not ripe (10 + 3 > 12).
-        let dec = d.slot_decision(PortId(0), None, &[c], &ctx(12, &free));
+        let dec = decide(&mut d, PortId(0), None, &[c], &ctx(12, &free));
         assert!(dec.releases.is_empty());
         // At slot 13 it is.
-        let dec = d.slot_decision(PortId(0), None, &[c], &ctx(13, &free));
+        let dec = decide(&mut d, PortId(0), None, &[c], &ctx(13, &free));
         assert_eq!(dec.releases.len(), 1);
         assert_eq!(dec.releases[0].0, 0);
     }
@@ -532,7 +535,7 @@ mod tests {
         let mut d = DelayedCpaDemux::new(2, 4, 2, 3);
         let free = vec![0u64; 4];
         let arr = cell(0, 0, 0, 5);
-        let dec = d.slot_decision(PortId(0), Some(&arr), &[], &ctx(5, &free));
+        let dec = decide(&mut d, PortId(0), Some(&arr), &[], &ctx(5, &free));
         assert_eq!(dec.arrival, Some(ArrivalAction::Enqueue));
     }
 
@@ -541,9 +544,9 @@ mod tests {
         let mut d = BufferedStaleDemux::new(1, 4, 4, 2);
         let free = vec![0u64; 4];
         let c = cell(0, 0, 0, 10);
-        let dec = d.slot_decision(PortId(0), None, &[c], &ctx(11, &free));
+        let dec = decide(&mut d, PortId(0), None, &[c], &ctx(11, &free));
         assert!(dec.releases.is_empty(), "held until arrival + hold");
-        let dec = d.slot_decision(PortId(0), None, &[c], &ctx(12, &free));
+        let dec = decide(&mut d, PortId(0), None, &[c], &ctx(12, &free));
         assert_eq!(dec.releases.len(), 1);
     }
 
@@ -552,7 +555,7 @@ mod tests {
         let mut d = BufferedStaleDemux::new(1, 2, 2, 0);
         let free = vec![0u64; 2];
         let arr = cell(0, 0, 0, 5);
-        let dec = d.slot_decision(PortId(0), Some(&arr), &[], &ctx(5, &free));
+        let dec = decide(&mut d, PortId(0), Some(&arr), &[], &ctx(5, &free));
         assert!(matches!(dec.arrival, Some(ArrivalAction::Dispatch(_))));
     }
 
@@ -570,8 +573,8 @@ mod tests {
         let free = vec![0u64; 4];
         let c0 = cell(0, 0, 0, 10);
         let c1 = cell(1, 1, 0, 10);
-        let d0 = d.slot_decision(PortId(0), None, &[c0], &ctx(11, &free));
-        let d1 = d.slot_decision(PortId(1), None, &[c1], &ctx(11, &free));
+        let d0 = decide(&mut d, PortId(0), None, &[c0], &ctx(11, &free));
+        let d1 = decide(&mut d, PortId(1), None, &[c1], &ctx(11, &free));
         assert_eq!(d0.releases[0].1, d1.releases[0].1);
     }
 
@@ -581,8 +584,8 @@ mod tests {
         let free = vec![0u64; 2];
         let a = cell(0, 0, 0, 0);
         let b = cell(1, 0, 0, 1);
-        let d1 = d.slot_decision(PortId(0), None, &[a], &ctx(2, &free));
-        let d2 = d.slot_decision(PortId(0), None, &[b], &ctx(3, &free));
+        let d1 = decide(&mut d, PortId(0), None, &[a], &ctx(2, &free));
+        let d2 = decide(&mut d, PortId(0), None, &[b], &ctx(3, &free));
         let p1 = d1.releases[0].1;
         let p2 = d2.releases[0].1;
         assert_ne!(p1, p2, "arbiter remembers its own grants");

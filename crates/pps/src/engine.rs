@@ -63,7 +63,12 @@ impl InfoBus {
     /// of slot `now − u` (or nothing while `now < u`).
     fn begin_slot(&mut self, now: Slot, fabric: &Fabric, buffers: &[u32]) {
         if self.centralized {
-            self.current = Some(fabric.snapshot(now, buffers));
+            // Overwrite last slot's snapshot in place: the centralized
+            // class allocates once per run, not once per slot.
+            match &mut self.current {
+                Some(cur) => fabric.snapshot_into(now, buffers, cur),
+                None => self.current = Some(fabric.snapshot(now, buffers)),
+            }
         }
         let _ = now;
     }
@@ -82,7 +87,16 @@ impl InfoBus {
     /// `[0, t − u]` information window.
     fn end_slot(&mut self, now: Slot, fabric: &Fabric, buffers: &[u32]) {
         if let Some(ring) = &mut self.ring {
-            ring.push(fabric.snapshot(now, buffers));
+            // Once the ring is full (after the first u + 1 slots) every
+            // push reuses the buffers of the snapshot it would evict.
+            let snap = match ring.recycle_slot() {
+                Some(mut old) => {
+                    fabric.snapshot_into(now, buffers, &mut old);
+                    old
+                }
+                None => fabric.snapshot(now, buffers),
+            };
+            ring.push(snap);
         }
     }
 }
@@ -94,22 +108,29 @@ impl InfoBus {
 /// fully-distributed one never.
 #[derive(Clone, Debug, Default)]
 struct FaultSchedule {
-    events: Vec<FaultEvent>,
+    /// The plan being replayed, shared rather than copied: replaying one
+    /// plan against many runs (the fault experiments' inner loops) clones
+    /// a pointer, not the event vec.
+    plan: Option<std::sync::Arc<FaultPlan>>,
     next: usize,
 }
 
 impl FaultSchedule {
-    fn set(&mut self, plan: &FaultPlan) {
-        self.events = plan.events().to_vec();
+    fn set(&mut self, plan: std::sync::Arc<FaultPlan>) {
+        self.plan = Some(plan);
         self.next = 0;
     }
 
+    fn events(&self) -> &[FaultEvent] {
+        self.plan.as_deref().map_or(&[], FaultPlan::events)
+    }
+
     fn apply_due(&mut self, now: Slot, fabric: &mut Fabric) -> Result<(), ModelError> {
-        while let Some(ev) = self.events.get(self.next) {
+        while let Some(&ev) = self.events().get(self.next) {
             if ev.activates_at() > now {
                 break;
             }
-            match *ev {
+            match ev {
                 FaultEvent::PlaneDown { plane, .. } => fabric.fail_plane(plane.idx())?,
                 FaultEvent::PlaneUp { plane, .. } => fabric.recover_plane(plane.idx())?,
                 FaultEvent::LinkDegraded {
@@ -179,6 +200,16 @@ impl<D: Demultiplexor> BufferlessPps<D> {
     /// effect at the start of its slot. Validates the plan against the
     /// switch geometry.
     pub fn set_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), ModelError> {
+        self.set_fault_plan_shared(std::sync::Arc::new(plan.clone()))
+    }
+
+    /// Like [`set_fault_plan`](Self::set_fault_plan), but shares the plan
+    /// instead of copying it — the cheap path when one plan is replayed
+    /// against many runs.
+    pub fn set_fault_plan_shared(
+        &mut self,
+        plan: std::sync::Arc<FaultPlan>,
+    ) -> Result<(), ModelError> {
         plan.validate(self.fabric.cfg())?;
         self.faults.set(plan);
         Ok(())
@@ -270,6 +301,9 @@ pub struct BufferedPps<D: BufferedDemultiplexor> {
     buffer_live: Vec<u32>,
     capacity: usize,
     max_buffer_occupancy: usize,
+    /// Per-slot decision scratch, cleared and refilled for every input so
+    /// deciding allocates nothing in the steady state.
+    decision: BufferedDecision,
 }
 
 impl<D: BufferedDemultiplexor> BufferedPps<D> {
@@ -296,6 +330,7 @@ impl<D: BufferedDemultiplexor> BufferedPps<D> {
             buffer_live: vec![0; cfg.n],
             capacity,
             max_buffer_occupancy: 0,
+            decision: BufferedDecision::default(),
         })
     }
 
@@ -328,6 +363,15 @@ impl<D: BufferedDemultiplexor> BufferedPps<D> {
     /// Replay `plan` during the next [`run`](Self::run); see
     /// [`BufferlessPps::set_fault_plan`].
     pub fn set_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), ModelError> {
+        self.set_fault_plan_shared(std::sync::Arc::new(plan.clone()))
+    }
+
+    /// Like [`set_fault_plan`](Self::set_fault_plan), but shares the plan
+    /// instead of copying it; see [`BufferlessPps::set_fault_plan_shared`].
+    pub fn set_fault_plan_shared(
+        &mut self,
+        plan: std::sync::Arc<FaultPlan>,
+    ) -> Result<(), ModelError> {
         plan.validate(self.fabric.cfg())?;
         self.faults.set(plan);
         Ok(())
@@ -354,16 +398,27 @@ impl<D: BufferedDemultiplexor> BufferedPps<D> {
                 debug_assert_eq!(c.arrival, now);
                 self.fabric.register_arrival(&c);
             }
-            let decision = {
+            let mut decision = std::mem::take(&mut self.decision);
+            decision.clear();
+            {
                 let buf = self.buffers[input].make_contiguous();
                 let ctx = DispatchCtx {
                     local: self.fabric.local_view(PortId(input as u32), now),
                     global: self.bus.view(now),
                 };
-                self.demux
-                    .slot_decision(PortId(input as u32), arrival.as_ref(), buf, &ctx)
-            };
-            self.apply_decision(input, now, arrival, decision, log)?;
+                self.demux.slot_decision(
+                    PortId(input as u32),
+                    arrival.as_ref(),
+                    buf,
+                    &ctx,
+                    &mut decision,
+                );
+            }
+            let applied = self.apply_decision(input, now, arrival, &mut decision, log);
+            // Hand the scratch (and its allocation) back before surfacing
+            // any model error.
+            self.decision = decision;
+            applied?;
         }
         self.fabric.service(now)?;
         self.fabric.emit(now, log);
@@ -376,12 +431,12 @@ impl<D: BufferedDemultiplexor> BufferedPps<D> {
         input: usize,
         now: Slot,
         arrival: Option<Cell>,
-        decision: BufferedDecision,
+        decision: &mut BufferedDecision,
         log: &mut RunLog,
     ) -> Result<(), ModelError> {
         // Validate and perform releases, highest index first so earlier
         // indices stay valid during removal.
-        let mut releases = decision.releases;
+        let releases = &mut decision.releases;
         releases.sort_by_key(|r| std::cmp::Reverse(r.0));
         for w in releases.windows(2) {
             if w[0].0 == w[1].0 {
@@ -391,7 +446,7 @@ impl<D: BufferedDemultiplexor> BufferedPps<D> {
                 });
             }
         }
-        for (idx, plane) in releases {
+        for &(idx, plane) in releases.iter() {
             let cell = self.buffers[input]
                 .remove(idx)
                 .ok_or(ModelError::BadBufferIndex {

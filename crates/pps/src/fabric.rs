@@ -188,6 +188,7 @@ impl Fabric {
 
     /// Let every output with work emit at most one cell; record departures.
     pub fn emit(&mut self, now: Slot, log: &mut RunLog) {
+        crate::perf::SLOTS_SIMULATED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut write = 0usize;
         for read in 0..self.active_list.len() {
             let j = self.active_list[read];
@@ -293,15 +294,46 @@ impl Fabric {
     }
 
     /// Build the observable global snapshot at `taken_at`.
+    ///
+    /// Thin allocating wrapper over [`snapshot_into`](Self::snapshot_into)
+    /// for external callers; the engines' per-slot paths reuse buffers
+    /// through `snapshot_into` instead.
     pub fn snapshot(&self, taken_at: Slot, input_buffer_len: &[u32]) -> GlobalSnapshot {
-        GlobalSnapshot {
-            taken_at,
-            k: self.cfg.k,
-            n: self.cfg.n,
-            plane_queue_len: self.plane_len_live.clone().into_boxed_slice(),
-            input_buffer_len: input_buffer_len.to_vec().into_boxed_slice(),
-            output_pending: self.output_pending_live.clone().into_boxed_slice(),
-            plane_mask: self.plane_mask(),
+        let mut out = GlobalSnapshot::empty(self.cfg.n, self.cfg.k, taken_at);
+        self.snapshot_into(taken_at, input_buffer_len, &mut out);
+        out
+    }
+
+    /// Fill `out` with the observable global snapshot at `taken_at`,
+    /// reusing its buffers when the geometry matches (the per-slot case)
+    /// and reallocating only on a geometry change.
+    pub fn snapshot_into(
+        &self,
+        taken_at: Slot,
+        input_buffer_len: &[u32],
+        out: &mut GlobalSnapshot,
+    ) {
+        out.taken_at = taken_at;
+        out.k = self.cfg.k;
+        out.n = self.cfg.n;
+        if out.plane_queue_len.len() != self.plane_len_live.len() {
+            out.plane_queue_len = vec![0; self.plane_len_live.len()].into_boxed_slice();
+        }
+        out.plane_queue_len.copy_from_slice(&self.plane_len_live);
+        if out.input_buffer_len.len() != input_buffer_len.len() {
+            out.input_buffer_len = vec![0; input_buffer_len.len()].into_boxed_slice();
+        }
+        out.input_buffer_len.copy_from_slice(input_buffer_len);
+        if out.output_pending.len() != self.output_pending_live.len() {
+            out.output_pending = vec![0; self.output_pending_live.len()].into_boxed_slice();
+        }
+        out.output_pending
+            .copy_from_slice(&self.output_pending_live);
+        if out.plane_mask.k() != self.cfg.k {
+            out.plane_mask = PlaneMask::all_up(self.cfg.k);
+        }
+        for (p, plane) in self.planes.iter().enumerate() {
+            out.plane_mask.set_up(p, !plane.is_failed());
         }
     }
 
@@ -506,6 +538,24 @@ mod tests {
         assert!(!snap.plane_mask.is_up(1));
         f.recover_plane(1).unwrap();
         assert!(!f.snapshot(2, &[0, 0]).plane_mask.any_down());
+    }
+
+    #[test]
+    fn snapshot_into_matches_allocating_snapshot() {
+        let (mut f, mut log) = setup(2, 2, 2);
+        f.dispatch(cell(0, 0, 0, 0), PlaneId(0), 0, &mut log)
+            .unwrap();
+        f.fail_plane(1).unwrap();
+        let fresh = f.snapshot(3, &[1, 2]);
+        // Filling a snapshot of the wrong geometry must rebuild it; a
+        // matching one must be overwritten in place. Both end identical to
+        // the allocating wrapper.
+        let mut wrong = GlobalSnapshot::empty(5, 7, 0);
+        f.snapshot_into(3, &[1, 2], &mut wrong);
+        assert_eq!(fresh, wrong);
+        let mut reused = f.snapshot(0, &[9, 9]);
+        f.snapshot_into(3, &[1, 2], &mut reused);
+        assert_eq!(fresh, reused);
     }
 
     #[test]

@@ -85,11 +85,10 @@ impl BufferedDemultiplexor for BadIndexReleaser {
         arrival: Option<&Cell>,
         _buffer: &[Cell],
         _ctx: &DispatchCtx<'_>,
-    ) -> BufferedDecision {
-        BufferedDecision {
-            releases: vec![(7, PlaneId(0))],
-            arrival: arrival.map(|_| ArrivalAction::Enqueue),
-        }
+        out: &mut BufferedDecision,
+    ) {
+        out.releases.push((7, PlaneId(0)));
+        out.arrival = arrival.map(|_| ArrivalAction::Enqueue);
     }
     fn reset(&mut self) {}
     fn name(&self) -> &'static str {
@@ -124,14 +123,14 @@ impl BufferedDemultiplexor for DoubleReleaser {
         arrival: Option<&Cell>,
         buffer: &[Cell],
         _ctx: &DispatchCtx<'_>,
-    ) -> BufferedDecision {
+        out: &mut BufferedDecision,
+    ) {
         if buffer.is_empty() {
-            BufferedDecision::hold(arrival.is_some())
+            *out = BufferedDecision::hold(arrival.is_some());
         } else {
-            BufferedDecision {
-                releases: vec![(0, PlaneId(0)), (0, PlaneId(1))],
-                arrival: arrival.map(|_| ArrivalAction::Enqueue),
-            }
+            out.releases.push((0, PlaneId(0)));
+            out.releases.push((0, PlaneId(1)));
+            out.arrival = arrival.map(|_| ArrivalAction::Enqueue);
         }
     }
     fn reset(&mut self) {}
@@ -167,8 +166,9 @@ impl BufferedDemultiplexor for Hoarder {
         arrival: Option<&Cell>,
         _buffer: &[Cell],
         _ctx: &DispatchCtx<'_>,
-    ) -> BufferedDecision {
-        BufferedDecision::hold(arrival.is_some())
+        out: &mut BufferedDecision,
+    ) {
+        *out = BufferedDecision::hold(arrival.is_some());
     }
     fn reset(&mut self) {}
     fn name(&self) -> &'static str {
@@ -203,14 +203,14 @@ impl BufferedDemultiplexor for SameLineDouble {
         arrival: Option<&Cell>,
         buffer: &[Cell],
         _ctx: &DispatchCtx<'_>,
-    ) -> BufferedDecision {
+        out: &mut BufferedDecision,
+    ) {
         if buffer.len() >= 2 {
-            BufferedDecision {
-                releases: vec![(0, PlaneId(0)), (1, PlaneId(0))],
-                arrival: arrival.map(|_| ArrivalAction::Enqueue),
-            }
+            out.releases.push((0, PlaneId(0)));
+            out.releases.push((1, PlaneId(0)));
+            out.arrival = arrival.map(|_| ArrivalAction::Enqueue);
         } else {
-            BufferedDecision::hold(arrival.is_some())
+            *out = BufferedDecision::hold(arrival.is_some());
         }
     }
     fn reset(&mut self) {}

@@ -68,6 +68,29 @@ fn soak_long_horizon_full_load() {
 }
 
 #[test]
+fn registry_tables_identical_across_job_counts() {
+    // The sweep executor's whole contract: whatever the worker budget,
+    // every experiment renders byte-identically. This is what lets ppslab
+    // default to all cores without touching a single golden number.
+    use pps_experiments::{registry, sweep};
+    let render_all = || -> String { registry().iter().map(|(_, run)| run().render()).collect() };
+    sweep::set_jobs(1);
+    let serial = render_all();
+    sweep::set_jobs(8);
+    let parallel = render_all();
+    sweep::set_jobs(1);
+    if serial != parallel {
+        let diff = serial
+            .lines()
+            .zip(parallel.lines())
+            .find(|(a, b)| a != b)
+            .map(|(a, b)| format!("first differing line:\n  jobs=1: {a}\n  jobs=8: {b}"))
+            .unwrap_or_else(|| "outputs differ in length only".into());
+        panic!("rendered tables differ between jobs=1 and jobs=8; {diff}");
+    }
+}
+
+#[test]
 fn soak_cpa_mimics_at_scale() {
     let (n, k, r_prime) = (16, 8, 4);
     let cfg = PpsConfig::bufferless(n, k, r_prime).with_discipline(OutputDiscipline::GlobalFcfs);

@@ -209,7 +209,8 @@ proptest! {
                 arrival: Option<&Cell>,
                 buffer: &[Cell],
                 ctx: &DispatchCtx<'_>,
-            ) -> pps_core::demux::BufferedDecision {
+                out: &mut pps_core::demux::BufferedDecision,
+            ) {
                 let mut used = vec![false; self.k];
                 let mut releases = Vec::new();
                 // Randomly release a prefix of the buffer onto distinct
@@ -247,10 +248,8 @@ proptest! {
                         }
                     }
                 });
-                pps_core::demux::BufferedDecision {
-                    releases,
-                    arrival: arrival_action,
-                }
+                out.releases.extend(releases);
+                out.arrival = arrival_action;
             }
             fn reset(&mut self) {}
             fn name(&self) -> &'static str {
