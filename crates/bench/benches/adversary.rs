@@ -21,9 +21,10 @@ fn bench_alignment_search(c: &mut Criterion) {
             let demux = RoundRobinDemux::new(n, k);
             b.iter(|| best_alignment(black_box(&demux), inp, k, 0, 4 * k))
         });
-        // The randomized automaton costs O(n) per clone-peek, so cap the
-        // probing benchmark at n = 256 (the 1024-point alignment is still
-        // exercised for round robin above).
+        // The randomized automaton pays one O(n) working copy per recorded
+        // log (no per-peek clones since the one-pass search), but keep the
+        // historical n = 256 cap so numbers stay comparable across runs
+        // (the 1024-point alignment is still exercised for round robin).
         if n <= 256 {
             g.bench_with_input(BenchmarkId::new("randomized", n), &inputs, |b, inp| {
                 let demux = RandomDemux::new(n, 5);
@@ -54,6 +55,39 @@ fn bench_attack_construction(c: &mut Criterion) {
     g.finish();
 }
 
+/// The one-pass construction pipeline end to end, over the (N, K) grid the
+/// experiment suite actually sweeps: a single forward recording of every
+/// input's dispatch trajectory, the per-plane table scan picking the best
+/// plane, and (separately) the full three-phase attack build on top of it.
+fn bench_adversary_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adversary_construction");
+    g.sample_size(20);
+    for n in [32usize, 64] {
+        for k in [8usize, 16] {
+            let cfg = PpsConfig::bufferless(n, k, 4);
+            let inputs: Vec<u32> = (0..n as u32).collect();
+            let id = format!("n{n}_k{k}");
+            g.bench_with_input(
+                BenchmarkId::new("alignment_search", &id),
+                &inputs,
+                |b, inp| {
+                    let demux = RoundRobinDemux::new(n, k);
+                    b.iter(|| best_alignment(black_box(&demux), inp, k, 0, 4 * k))
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new("concentration_attack", &id),
+                &inputs,
+                |b, inp| {
+                    let demux = RoundRobinDemux::new(n, k);
+                    b.iter(|| concentration_attack(black_box(&demux), &cfg, inp, 4 * k))
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
 fn bench_leaky_bucket_validator(c: &mut Criterion) {
     let mut g = c.benchmark_group("leaky_bucket_validator");
     g.sample_size(10);
@@ -72,6 +106,7 @@ criterion_group!(
     adversary,
     bench_alignment_search,
     bench_attack_construction,
+    bench_adversary_construction,
     bench_leaky_bucket_validator
 );
 criterion_main!(adversary);

@@ -202,10 +202,27 @@ pub trait BufferedDemultiplexor: Send {
     fn name(&self) -> &'static str;
 }
 
-/// Marker for demultiplexors whose state machines the adversary may clone
-/// and probe (every deterministic implementation should derive this for
-/// free via the blanket impl).
-pub trait ExplorableDemux: Demultiplexor + Clone {}
+/// Demultiplexors whose state machines the adversary may probe.
+///
+/// The adversarial constructions of `pps-traffic` take one working copy of
+/// the automaton via [`probe_copy`](Self::probe_copy) and then drive it
+/// *forward*, recording its dispatch trajectory — they never clone per
+/// peek or per candidate plane (see `pps_traffic::adversary::alignment`).
+/// The blanket impl covers every `Demultiplexor + Clone`, so third-party
+/// demultiplexors keep working with clone-based save/restore for free.
+pub trait ExplorableDemux: Demultiplexor + Clone {
+    /// Save the automaton: a working copy the adversary may mutate while
+    /// probing, leaving `self` untouched.
+    fn probe_copy(&self) -> Self {
+        self.clone()
+    }
+
+    /// Restore a configuration previously saved with
+    /// [`probe_copy`](Self::probe_copy).
+    fn restore_from(&mut self, saved: &Self) {
+        self.clone_from(saved);
+    }
+}
 impl<T: Demultiplexor + Clone> ExplorableDemux for T {}
 
 /// Probe helper: ask `demux` what it *would* do with `cell` at `now`,

@@ -39,6 +39,7 @@ pub mod error;
 pub mod fault;
 pub mod ids;
 pub mod link;
+pub mod perf;
 pub mod prelude;
 pub mod queue;
 pub mod rate;

@@ -50,6 +50,7 @@ impl CioqSwitch {
 
     /// Advance one slot.
     pub fn slot(&mut self, now: Slot, arrivals: &[Cell], log: &mut RunLog) {
+        pps_core::perf::record_slots(1);
         for cell in arrivals {
             debug_assert_eq!(cell.arrival, now);
             let j = cell.output.idx();

@@ -30,6 +30,7 @@ impl CrossbarSwitch {
     /// matching, and transfer matched head cells (which depart this slot —
     /// the crossbar is output-unbuffered at speedup 1).
     pub fn slot(&mut self, now: Slot, arrivals: &[Cell], log: &mut RunLog) {
+        pps_core::perf::record_slots(1);
         for cell in arrivals {
             debug_assert_eq!(cell.arrival, now);
             self.voqs[cell.input.idx() * self.n + cell.output.idx()].push(*cell);

@@ -30,6 +30,10 @@ pub fn run() -> ExperimentOutput {
     let results = plan.run(|pt| {
         let c = congestion_traffic(n, 0, 2, *pt.params);
         let b = min_burstiness(&c.trace, n).overall();
+        // No engine runs here — the experiment *is* the trace validation —
+        // so account the scanned slots to the shared throughput meter
+        // (otherwise --bench-json reports a bogus 0 slots for e9).
+        pps_core::perf::record_slots(c.trace.horizon());
         (c.expected_burstiness, b)
     });
     // Cross-point monotonicity runs after the merge, over ordered results.

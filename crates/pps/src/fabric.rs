@@ -188,7 +188,7 @@ impl Fabric {
 
     /// Let every output with work emit at most one cell; record departures.
     pub fn emit(&mut self, now: Slot, log: &mut RunLog) {
-        crate::perf::SLOTS_SIMULATED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        pps_core::perf::record_slots(1);
         let mut write = 0usize;
         for read in 0..self.active_list.len() {
             let j = self.active_list[read];

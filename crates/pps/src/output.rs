@@ -11,7 +11,7 @@
 
 use pps_core::prelude::*;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Key ordering eligible cells: earliest switch arrival first, then global
 /// id (which encodes input order within a slot).
@@ -39,6 +39,119 @@ impl Ord for Eligible {
     }
 }
 
+/// Heap entry for GlobalFcfs cells parked at the mux, min-ordered by cell
+/// id (ids are globally unique and encode FCFS order).
+#[derive(Clone, Debug)]
+struct ById(Cell);
+
+impl PartialEq for ById {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.id == other.0.id
+    }
+}
+impl Eq for ById {}
+impl PartialOrd for ById {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ById {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.id.cmp(&other.0.id)
+    }
+}
+
+/// Sparse sequence-indexed ring holding one flow's gap-blocked cells.
+///
+/// Cells wait here keyed by their per-flow sequence number; at any moment
+/// the pending seqs live in a window no wider than the flow's in-switch
+/// reordering span, so a power-of-two ring addressed by `seq & (cap − 1)`
+/// holds them collision-free (capacity grows to cover the live span; the
+/// occupancy check compares the stored seq, so a stale slot can never
+/// masquerade as a hit). Insert, remove-min, and min queries are O(1)
+/// amortized — the resequencer's whole hot path, which previously walked a
+/// `BTreeMap` per delivery and per emission.
+#[derive(Clone, Debug, Default)]
+struct SeqRing {
+    /// Power-of-two slot array (empty until the first insert).
+    slots: Vec<Option<Cell>>,
+    /// Pending-cell count.
+    len: usize,
+    /// Exact smallest pending seq (meaningful while `len > 0`).
+    min_seq: u32,
+    /// Exact largest pending seq (meaningful while `len > 0`).
+    max_seq: u32,
+}
+
+impl SeqRing {
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Smallest pending seq, if any.
+    fn min_seq(&self) -> Option<u32> {
+        (self.len > 0).then_some(self.min_seq)
+    }
+
+    /// Grow (rehash) until `span` consecutive seqs fit collision-free.
+    fn ensure_span(&mut self, span: usize) {
+        if span <= self.slots.len() {
+            return;
+        }
+        let new_cap = span.next_power_of_two().max(8);
+        let mut new_slots = vec![None; new_cap];
+        for cell in self.slots.drain(..).flatten() {
+            new_slots[cell.seq as usize & (new_cap - 1)] = Some(cell);
+        }
+        self.slots = new_slots;
+    }
+
+    /// Park `cell` under its sequence number.
+    fn insert(&mut self, cell: Cell) {
+        let seq = cell.seq;
+        let (lo, hi) = if self.len == 0 {
+            (seq, seq)
+        } else {
+            (self.min_seq.min(seq), self.max_seq.max(seq))
+        };
+        self.ensure_span((hi - lo) as usize + 1);
+        let mask = self.slots.len() - 1;
+        let slot = &mut self.slots[seq as usize & mask];
+        debug_assert!(slot.is_none(), "duplicate seq {seq} delivered");
+        *slot = Some(cell);
+        self.len += 1;
+        self.min_seq = lo;
+        self.max_seq = hi;
+    }
+
+    /// Take the cell parked under `seq`, if present. Callers only ever
+    /// remove the current minimum (the head the flow is waiting on), so
+    /// the min is maintained by scanning forward from the vacated slot.
+    fn remove(&mut self, seq: u32) -> Option<Cell> {
+        if self.len == 0 {
+            return None;
+        }
+        let cap = self.slots.len();
+        let slot = &mut self.slots[seq as usize & (cap - 1)];
+        match slot {
+            Some(c) if c.seq == seq => {}
+            _ => return None,
+        }
+        let cell = slot.take();
+        self.len -= 1;
+        if self.len > 0 && seq == self.min_seq {
+            let mut s = seq + 1;
+            self.min_seq = loop {
+                if matches!(&self.slots[s as usize & (cap - 1)], Some(c) if c.seq == s) {
+                    break s;
+                }
+                s += 1;
+            };
+        }
+        cell
+    }
+}
+
 /// One output port's multiplexor.
 #[derive(Clone, Debug)]
 pub struct OutputMux {
@@ -47,8 +160,9 @@ pub struct OutputMux {
     /// (A binary heap, not a BTreeMap: insert/pop-min dominate the hot
     /// path and keys are never removed out of order.)
     eligible: BinaryHeap<Reverse<Eligible>>,
-    /// FlowFifo: cells waiting for earlier cells of their flow, per input.
-    reorder: Vec<BTreeMap<u32, Cell>>,
+    /// FlowFifo: cells waiting for earlier cells of their flow, per input
+    /// (seq-indexed rings — O(1) park/unpark, see [`SeqRing`]).
+    reorder: Vec<SeqRing>,
     /// FlowFifo: next expected sequence number per input.
     next_seq: Vec<u32>,
     /// FlowFifo: cells of each input currently in `eligible` (a flow with
@@ -59,9 +173,13 @@ pub struct OutputMux {
     blocked_since: Vec<Option<Slot>>,
     /// GlobalFcfs: ids of cells bound for this output that are inside the
     /// switch but have not yet been emitted (registered at dispatch time).
-    in_flight: BTreeSet<CellId>,
-    /// GlobalFcfs: cells present at the mux, by id.
-    present: BTreeMap<CellId, Cell>,
+    /// Kept sorted; the bufferless engine registers in increasing id order
+    /// so insertion is an O(1) push, and the buffered engine's occasional
+    /// out-of-order dispatch falls back to a binary-search insert.
+    in_flight: VecDeque<CellId>,
+    /// GlobalFcfs: cells parked at the mux, min-heap by id (emission only
+    /// ever takes the oldest).
+    present: BinaryHeap<Reverse<ById>>,
     /// Number of cells currently held (all disciplines).
     held: usize,
     /// High-water mark of `held`.
@@ -88,12 +206,12 @@ impl OutputMux {
         OutputMux {
             discipline,
             eligible: BinaryHeap::new(),
-            reorder: (0..n).map(|_| BTreeMap::new()).collect(),
+            reorder: (0..n).map(|_| SeqRing::default()).collect(),
             next_seq: vec![0; n],
             eligible_count: vec![0; n],
             blocked_since: vec![None; n],
-            in_flight: BTreeSet::new(),
-            present: BTreeMap::new(),
+            in_flight: VecDeque::new(),
+            present: BinaryHeap::new(),
             held: 0,
             max_held: 0,
             emitted: 0,
@@ -117,7 +235,16 @@ impl OutputMux {
     /// whether an earlier cell is still in transit).
     pub fn register_in_flight(&mut self, id: CellId) {
         if self.discipline == OutputDiscipline::GlobalFcfs {
-            self.in_flight.insert(id);
+            match self.in_flight.back() {
+                Some(&last) if last >= id => {
+                    // Buffered engine releasing an older buffered cell
+                    // after a younger immediate dispatch: keep sorted.
+                    if let Err(pos) = self.in_flight.binary_search(&id) {
+                        self.in_flight.insert(pos, id);
+                    }
+                }
+                _ => self.in_flight.push_back(id),
+            }
         }
     }
 
@@ -126,7 +253,9 @@ impl OutputMux {
     /// will never arrive (lost to a failed plane), so the mux does not wait
     /// for it forever.
     pub fn unregister_in_flight(&mut self, id: CellId) {
-        self.in_flight.remove(&id);
+        if let Ok(pos) = self.in_flight.binary_search(&id) {
+            self.in_flight.remove(pos);
+        }
     }
 
     /// A plane delivered `cell` to this output in slot `now`. Returns
@@ -147,18 +276,18 @@ impl OutputMux {
                 if cell.seq == self.next_seq[i] {
                     self.push_eligible(cell);
                 } else {
-                    self.reorder[i].insert(cell.seq, cell);
+                    self.reorder[i].insert(cell);
                 }
                 self.refresh_gap(i, now);
             }
             OutputDiscipline::GlobalFcfs => {
-                if !self.in_flight.contains(&cell.id) {
+                if self.in_flight.binary_search(&cell.id).is_err() {
                     self.late_dropped += 1;
                     return false;
                 }
                 self.held += 1;
                 self.max_held = self.max_held.max(self.held);
-                self.present.insert(cell.id, cell);
+                self.present.push(Reverse(ById(cell)));
             }
             OutputDiscipline::Greedy => {
                 self.held += 1;
@@ -230,13 +359,13 @@ impl OutputMux {
             if now - since + 1 < limit {
                 continue;
             }
-            let (&seq, _) = self.reorder[i]
-                .first_key_value()
+            let seq = self.reorder[i]
+                .min_seq()
                 .expect("blocked flows have waiting cells");
             // The gap [next_seq, seq) is declared lost.
             self.skipped += u64::from(seq - self.next_seq[i]);
             self.next_seq[i] = seq;
-            let head = self.reorder[i].remove(&seq).unwrap();
+            let head = self.reorder[i].remove(seq).unwrap();
             self.push_eligible(head);
             self.refresh_gap(i, now);
         }
@@ -250,7 +379,7 @@ impl OutputMux {
                 self.eligible_count[i] -= 1;
                 self.next_seq[i] = cell.seq + 1;
                 // The successor may now be eligible.
-                if let Some(next) = self.reorder[i].remove(&self.next_seq[i]) {
+                if let Some(next) = self.reorder[i].remove(self.next_seq[i]) {
                     self.push_eligible(next);
                 }
                 self.refresh_gap(i, now);
@@ -259,16 +388,16 @@ impl OutputMux {
             OutputDiscipline::GlobalFcfs => {
                 // Emit the oldest present cell only if nothing older is
                 // still in transit inside the switch.
-                let &oldest_present = self.present.keys().next()?;
+                let oldest_present = self.present.peek()?.0 .0.id;
                 let &oldest_in_flight = self
                     .in_flight
-                    .first()
+                    .front()
                     .expect("present cells are always registered in flight");
                 if oldest_present != oldest_in_flight {
                     return None; // wait for the straggler
                 }
-                self.in_flight.pop_first();
-                self.present.remove(&oldest_present).unwrap()
+                self.in_flight.pop_front();
+                self.present.pop().expect("peeked above").0 .0
             }
             OutputDiscipline::Greedy => {
                 let Reverse(Eligible(_, cell)) = self.eligible.pop()?;
@@ -285,14 +414,15 @@ impl OutputMux {
     /// Called by [`emit`](Self::emit) once a whole-mux stall outlives the
     /// watchdog timeout.
     fn skip_stragglers(&mut self) {
-        let Some(&oldest_present) = self.present.keys().next() else {
+        let Some(Reverse(ById(oldest_present))) = self.present.peek() else {
             return;
         };
-        while let Some(&oldest) = self.in_flight.first() {
+        let oldest_present = oldest_present.id;
+        while let Some(&oldest) = self.in_flight.front() {
             if oldest >= oldest_present {
                 break;
             }
-            self.in_flight.pop_first();
+            self.in_flight.pop_front();
             self.skipped += 1;
         }
     }

@@ -1,21 +1,14 @@
-//! Process-wide simulation throughput accounting.
+//! Process-wide simulation throughput accounting (re-export).
 //!
-//! The fabric bumps [`SLOTS_SIMULATED`] once per simulated slot (one
-//! relaxed atomic add — negligible next to the slot's own work), so any
-//! driver can meter slots/sec across whole experiments without threading a
-//! counter through every engine: read [`slots_simulated`] before and after
-//! a workload and take the difference. The counter is cumulative and
-//! monotonic; it is never reset.
+//! The counter itself lives in [`pps_core::perf`] so that engines outside
+//! this crate — the crossbar/CIOQ baselines, trace validators — can
+//! account the slots they process through the same meter. The fabric
+//! bumps it once per simulated slot (one relaxed atomic add — negligible
+//! next to the slot's own work); drivers read [`slots_simulated`] before
+//! and after a workload and take the difference. The counter is
+//! cumulative and monotonic; it is never reset.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-pub(crate) static SLOTS_SIMULATED: AtomicU64 = AtomicU64::new(0);
-
-/// Total slots simulated by this process so far, across every fabric (both
-/// engines, hand-rolled `slot()` loops included).
-pub fn slots_simulated() -> u64 {
-    SLOTS_SIMULATED.load(Ordering::Relaxed)
-}
+pub use pps_core::perf::slots_simulated;
 
 #[cfg(test)]
 mod tests {
@@ -24,7 +17,7 @@ mod tests {
     #[test]
     fn counter_is_monotonic() {
         let before = slots_simulated();
-        SLOTS_SIMULATED.fetch_add(3, Ordering::Relaxed);
+        pps_core::perf::record_slots(3);
         assert!(slots_simulated() >= before + 3);
     }
 }

@@ -17,9 +17,9 @@
 //!    them to the output — Lemma 4 with `c = d`, `s = d`, `B = 0` gives
 //!    relative delay and jitter at least `(R/r − 1)·d`.
 
-use super::alignment::{best_alignment, AlignmentPlan};
+use super::alignment::{AlignmentPlan, DispatchLog};
 use pps_core::config::PpsConfig;
-use pps_core::demux::Demultiplexor;
+use pps_core::demux::ExplorableDemux;
 use pps_core::time::Slot;
 use pps_core::trace::{Arrival, Trace};
 
@@ -68,7 +68,7 @@ pub struct ConcentrationAttack {
 /// assert!(min_burstiness(&atk.trace, 8).burst_free()); // Theorem 6 premise
 /// assert_eq!(atk.predicted_bound, (2 - 1) * 8);        // (R/r - 1) * N
 /// ```
-pub fn concentration_attack<D: Demultiplexor + Clone>(
+pub fn concentration_attack<D: ExplorableDemux>(
     demux: &D,
     cfg: &PpsConfig,
     inputs: &[u32],
@@ -80,7 +80,7 @@ pub fn concentration_attack<D: Demultiplexor + Clone>(
 /// [`concentration_attack`] with an explicit hot output — used to compose
 /// simultaneous attacks on several outputs (the bounds are per-output, so
 /// attacks over disjoint input sets and distinct outputs superpose).
-pub fn concentration_attack_on<D: Demultiplexor + Clone>(
+pub fn concentration_attack_on<D: ExplorableDemux>(
     demux: &D,
     cfg: &PpsConfig,
     inputs: &[u32],
@@ -88,7 +88,9 @@ pub fn concentration_attack_on<D: Demultiplexor + Clone>(
     max_probes: usize,
 ) -> ConcentrationAttack {
     let r_prime = cfg.r_prime as Slot;
-    let plan = best_alignment(demux, inputs, cfg.k, hot_output, max_probes);
+    // One forward recording of every input's trajectory; the best plane's
+    // plan is a table scan (no per-plane re-runs, no per-peek clones).
+    let plan = DispatchLog::record(demux, inputs, cfg.k, hot_output, max_probes).best_plan();
     let mut phase_log = Vec::new();
     let mut arrivals: Vec<Arrival> = Vec::new();
 
@@ -166,7 +168,7 @@ mod tests {
     use super::*;
     use crate::leaky_bucket::min_burstiness;
     use pps_core::cell::Cell;
-    use pps_core::demux::{DispatchCtx, InfoClass};
+    use pps_core::demux::{Demultiplexor, DispatchCtx, InfoClass};
     use pps_core::ids::PlaneId;
 
     /// Round-robin clone for testing without depending on pps-switch.

@@ -6,12 +6,13 @@
 //! at one cell per `r'` slots. The modules here build those traffics
 //! against the *actual* demultiplexor state machines:
 //!
-//! * [`alignment`] — the generic state-steering driver: clone a
-//!   demultiplexor, feed it probe cells, and discover per input the cell
-//!   sequence after which its next dispatch for the target output lands on
-//!   the target plane. This is the executable form of the proof's walk
-//!   through the strongly-connected configuration graph (Figure 2, traffic
-//!   `A_i`).
+//! * [`alignment`] — the generic state-steering driver: run a working copy
+//!   of the demultiplexor *forward once per input*, recording its dispatch
+//!   trajectory; the cell sequence after which an input's next dispatch
+//!   for the target output lands on the target plane is then a table
+//!   lookup, for every candidate plane at once ([`alignment::DispatchLog`]).
+//!   This is the executable form of the proof's walk through the
+//!   strongly-connected configuration graph (Figure 2, traffic `A_i`).
 //! * [`concentration`] — the full Theorem 6 / Corollary 7 / Theorem 8 /
 //!   Theorem 13 traffic `LB`: alignment phase, quiescence phase (all plane
 //!   buffers drain), then `d` back-to-back cells for the hot output, one
@@ -30,7 +31,9 @@ pub mod concentration;
 pub mod congestion;
 pub mod urt_burst;
 
-pub use alignment::{best_alignment, plan_alignment, AlignmentPlan};
+pub use alignment::{
+    best_alignment, plan_alignment, record_trajectories, AlignmentPlan, DispatchLog,
+};
 pub use concentration::{concentration_attack, concentration_attack_on, ConcentrationAttack};
 pub use congestion::{congestion_traffic, CongestionTraffic};
-pub use urt_burst::{urt_burst_attack, UrtBurstAttack};
+pub use urt_burst::{burst_concentration, urt_burst_attack, UrtBurstAttack};

@@ -18,7 +18,9 @@
 //! With `u = 1` (any real-time distributed algorithm) this specializes to
 //! Corollary 11's `(1 − r/R)·N/S` under burstiness `N/K − 1`.
 
+use super::alignment::record_trajectories;
 use pps_core::config::PpsConfig;
+use pps_core::demux::ExplorableDemux;
 use pps_core::time::Slot;
 use pps_core::trace::{Arrival, Trace};
 
@@ -97,6 +99,42 @@ pub fn urt_burst_attack(cfg: &PpsConfig, u: Slot) -> UrtBurstAttack {
     }
 }
 
+/// Check Theorem 10's symmetry premise against a concrete automaton.
+///
+/// During the blind window every coordinated input decides on a stale
+/// (pre-burst, empty) global view and its own all-free lines, so the `m`
+/// symmetric automata should make *identical* plane choices at every burst
+/// position. This records each input's forward trajectory with the
+/// one-pass recorder ([`record_trajectories`] — no automaton clones) and
+/// returns, per burst position `0..u'`, the modal plane and how many of
+/// the `m` inputs chose it: a count of `m` at every position certifies the
+/// full `m`-cell concentration the bound charges.
+pub fn burst_concentration<D: ExplorableDemux>(
+    demux: &D,
+    cfg: &PpsConfig,
+    u: Slot,
+) -> Vec<(u32, usize)> {
+    let r_prime = cfg.r_prime as Slot;
+    let u_eff = u.min(r_prime / 2).max(1) as usize;
+    let m = (u_eff * cfg.n / cfg.k).min(cfg.n);
+    let inputs: Vec<u32> = (0..m as u32).collect();
+    let traj = record_trajectories(demux, &inputs, cfg.k, 0, u_eff);
+    (0..u_eff)
+        .map(|pos| {
+            let mut counts = vec![0usize; cfg.k];
+            for row in 0..m {
+                counts[traj[row * u_eff + pos].idx()] += 1;
+            }
+            let (plane, &count) = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &c)| c)
+                .expect("k >= 1");
+            (plane as u32, count)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +183,23 @@ mod tests {
         // Stale view during the last burst slot predates the burst.
         let last_burst_slot = atk.burst_start + atk.u_eff - 1;
         assert!(last_burst_slot - u < atk.burst_start);
+    }
+
+    #[test]
+    fn symmetric_automata_concentrate_fully() {
+        // N = 32, K = 8, r' = 8, u = 4: m = 16 coordinated inputs. Round
+        // robin is symmetric (every input starts at plane 0), so all m
+        // inputs make identical choices at every burst position — the
+        // premise Theorem 10 charges for.
+        let cfg = PpsConfig::bufferless(32, 8, 8);
+        let demux = pps_switch::demux::RoundRobinDemux::new(32, 8);
+        let atk = urt_burst_attack(&cfg, 4);
+        let prof = burst_concentration(&demux, &cfg, 4);
+        assert_eq!(prof.len(), atk.u_eff as usize);
+        for (pos, &(plane, count)) in prof.iter().enumerate() {
+            assert_eq!(count, atk.m, "position {pos} not fully concentrated");
+            assert_eq!(plane, pos as u32 % 8);
+        }
     }
 
     #[test]
