@@ -1,0 +1,146 @@
+//! `bench-compare` — gate CI on the stub-criterion bench medians.
+//!
+//! ```text
+//! cargo bench -p pps-bench --bench adversary  -- adversary_construction  > cur.txt
+//! cargo bench -p pps-bench --bench simulator  -- slot_throughput        >> cur.txt
+//! bench-compare BENCH_baselines.json cur.txt [--max-ratio 1.25]
+//! ```
+//!
+//! The baseline file (committed at the repo root) holds the reference
+//! median ns/iter for each gated bench id. The comparison fails — exit 1 —
+//! when any gated bench's current median exceeds `max-ratio ×` its
+//! baseline (default 1.25, the >25% regression bar), or when a gated bench
+//! is missing from the current output (a silently dropped bench must not
+//! pass the gate). Benches present in the output but not in the baseline
+//! are reported as informational.
+//!
+//! JSON is read with the hand-rolled parser from `pps-telemetry` (this
+//! workspace is offline and carries no `serde_json`).
+
+use pps_telemetry::chrome::{parse_json, Json};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Parse the committed baseline file: `{"benches": [{"id": .., "median_ns": ..}]}`.
+fn read_baselines(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let root = parse_json(text)?;
+    let benches = root
+        .get("benches")
+        .ok_or("baseline file has no \"benches\" field")?;
+    let Json::Arr(entries) = benches else {
+        return Err("\"benches\" is not an array".into());
+    };
+    entries
+        .iter()
+        .map(|e| {
+            let id = e
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or("bench entry without string \"id\"")?
+                .to_string();
+            let median = e
+                .get("median_ns")
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("bench {id:?} without numeric \"median_ns\""))?;
+            Ok((id, median))
+        })
+        .collect()
+}
+
+/// Parse `bench <name> <ns> ns/iter ...` lines from stub-criterion output.
+fn read_current(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let mut fields = line.split_whitespace();
+        if fields.next() != Some("bench") {
+            continue;
+        }
+        let (Some(name), Some(ns)) = (fields.next(), fields.next()) else {
+            continue;
+        };
+        if let Ok(ns) = ns.parse::<f64>() {
+            out.insert(name.to_string(), ns);
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [baseline_path, current_path] = positional.as_slice() else {
+        eprintln!("usage: bench-compare <baselines.json> <bench-output.txt> [--max-ratio 1.25]");
+        return ExitCode::from(2);
+    };
+    let max_ratio: f64 = match args.iter().position(|a| a == "--max-ratio") {
+        Some(i) => match args.get(i + 1).map(|v| v.parse()) {
+            Some(Ok(r)) => r,
+            _ => {
+                eprintln!("error: --max-ratio needs a numeric value");
+                return ExitCode::from(2);
+            }
+        },
+        None => 1.25,
+    };
+    let baseline_text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: read {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let current_text = match std::fs::read_to_string(current_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: read {current_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baselines = match read_baselines(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let current = read_current(&current_text);
+
+    let mut failures = 0usize;
+    println!(
+        "{:<58} {:>12} {:>12} {:>8}",
+        "bench", "baseline", "current", "ratio"
+    );
+    for (id, base) in &baselines {
+        match current.get(id) {
+            Some(&cur) => {
+                let ratio = cur / base;
+                let verdict = if ratio > max_ratio { "REGRESSED" } else { "ok" };
+                println!("{id:<58} {base:>12.0} {cur:>12.0} {ratio:>7.2}x {verdict}");
+                if ratio > max_ratio {
+                    failures += 1;
+                }
+            }
+            None => {
+                println!("{id:<58} {base:>12.0} {:>12} {:>8} MISSING", "-", "-");
+                failures += 1;
+            }
+        }
+    }
+    for id in current.keys() {
+        if !baselines.iter().any(|(b, _)| b == id) {
+            println!("{id:<58} (no baseline, informational)");
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "{failures} bench(es) regressed more than {:.0}% or went missing",
+            (max_ratio - 1.0) * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "all gated benches within {:.0}% of baseline",
+        (max_ratio - 1.0) * 100.0
+    );
+    ExitCode::SUCCESS
+}

@@ -225,6 +225,93 @@ pub trait ExplorableDemux: Demultiplexor + Clone {
 }
 impl<T: Demultiplexor + Clone> ExplorableDemux for T {}
 
+/// Seeded sticky flow-hash demultiplexor (fully distributed).
+///
+/// Each flow starts on a *home plane* — a seeded multiplicative hash of its
+/// dense flow index, the distributed analogue of ECMP spreading — and
+/// *sticks* to the last plane that actually carried it: when the current
+/// plane's line is busy, the dispatch deviates to the next free line and
+/// the flow's pin moves with it (flowlet-style pinning, which keeps a
+/// deviated flow from hammering its congested home every slot). The pin
+/// table is per-input state indexed by the input's own flows only, so the
+/// algorithm is fully distributed by construction; being stateful, it also
+/// exercises the adversary's one-pass trajectory recording in a way the
+/// stateless hash in `pps-switch` cannot.
+#[derive(Clone, Debug)]
+pub struct FlowHashDemux {
+    n: usize,
+    k: usize,
+    seed: u64,
+    /// Current plane pin per dense flow index; `u32::MAX` = unpinned
+    /// (first dispatch uses the hashed home plane).
+    pins: Vec<u32>,
+    /// Dispatches that had to move a flow off its pinned plane.
+    repins: u64,
+}
+
+impl FlowHashDemux {
+    /// Pin sentinel: the flow has not dispatched yet.
+    const UNPINNED: u32 = u32::MAX;
+
+    /// Sticky flow hashing for an `n × n` switch over `k` planes.
+    pub fn new(n: usize, k: usize, seed: u64) -> Self {
+        FlowHashDemux {
+            n,
+            k,
+            seed,
+            pins: vec![Self::UNPINNED; n * n],
+            repins: 0,
+        }
+    }
+
+    /// The hashed home plane of flow `(input, output)` — where the flow
+    /// starts, and returns to after [`reset`](Demultiplexor::reset).
+    pub fn home_plane(&self, input: usize, output: usize) -> usize {
+        let f = (input * self.n + output) as u64 ^ self.seed;
+        ((f.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) % self.k as u64) as usize
+    }
+
+    /// Dispatches that moved a flow off its pinned plane.
+    pub fn repins(&self) -> u64 {
+        self.repins
+    }
+}
+
+impl Demultiplexor for FlowHashDemux {
+    fn info_class(&self) -> InfoClass {
+        InfoClass::FullyDistributed
+    }
+
+    fn dispatch(&mut self, cell: &Cell, ctx: &DispatchCtx<'_>) -> PlaneId {
+        let flow = cell.input.idx() * self.n + cell.output.idx();
+        let pinned = self.pins[flow];
+        let want = if pinned == Self::UNPINNED {
+            self.home_plane(cell.input.idx(), cell.output.idx())
+        } else {
+            pinned as usize
+        };
+        let p = if ctx.local.is_free(want) {
+            want
+        } else {
+            self.repins += 1;
+            ctx.local
+                .next_free_from(want)
+                .expect("valid bufferless config guarantees a free plane")
+        };
+        self.pins[flow] = p as u32;
+        PlaneId(p as u32)
+    }
+
+    fn reset(&mut self) {
+        self.pins.fill(Self::UNPINNED);
+        self.repins = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "flow-hash"
+    }
+}
+
 /// Probe helper: ask `demux` what it *would* do with `cell` at `now`,
 /// assuming all of the input's lines are free, by running the real
 /// automaton on a scratch clone-free context. Mutates `demux` — clone
@@ -300,6 +387,44 @@ mod tests {
         fn name(&self) -> &'static str {
             "fixed"
         }
+    }
+
+    #[test]
+    fn flow_hash_sticks_until_forced_off() {
+        let mut d = FlowHashDemux::new(2, 4, 7);
+        let c = Cell {
+            id: CellId(0),
+            input: PortId(0),
+            output: PortId(1),
+            seq: 0,
+            arrival: 0,
+        };
+        let free = vec![0u64; 4];
+        let home = probe_dispatch(&mut d, &c, 0, &free).idx();
+        assert_eq!(home, d.home_plane(0, 1), "first dispatch uses the hash");
+        // Busy home line: the flow deviates and re-pins.
+        let mut busy = vec![0u64; 4];
+        busy[home] = 100;
+        let moved = probe_dispatch(&mut d, &c, 1, &busy).idx();
+        assert_ne!(moved, home);
+        assert_eq!(d.repins(), 1);
+        // Home frees up again — the flow stays on its new pin (sticky).
+        assert_eq!(probe_dispatch(&mut d, &c, 200, &free).idx(), moved);
+        assert_eq!(d.repins(), 1, "staying on the pin is not a repin");
+        // Reset returns the flow to its hashed home.
+        d.reset();
+        assert_eq!(probe_dispatch(&mut d, &c, 300, &free).idx(), home);
+    }
+
+    #[test]
+    fn flow_hash_seed_changes_homes() {
+        let a = FlowHashDemux::new(8, 8, 1);
+        let b = FlowHashDemux::new(8, 8, 2);
+        let differing = (0..8)
+            .flat_map(|i| (0..8).map(move |j| (i, j)))
+            .filter(|&(i, j)| a.home_plane(i, j) != b.home_plane(i, j))
+            .count();
+        assert!(differing > 0, "seeds must perturb the placement");
     }
 
     #[test]

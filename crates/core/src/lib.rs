@@ -45,10 +45,12 @@ pub mod queue;
 pub mod rate;
 pub mod record;
 pub mod snapshot;
+pub mod telemetry;
 pub mod time;
 pub mod topology;
 pub mod trace;
 pub mod trace_io;
+pub mod workers;
 
 pub use cell::Cell;
 pub use config::{BufferSpec, OutputDiscipline, PpsConfig};

@@ -8,7 +8,7 @@ pub use crate::cell::{Cell, RoutedCell};
 pub use crate::config::{BufferSpec, OutputDiscipline, PpsConfig};
 pub use crate::demux::{
     ArrivalAction, BufferedDecision, BufferedDemultiplexor, Demultiplexor, DispatchCtx,
-    ExplorableDemux, InfoClass, LocalView,
+    ExplorableDemux, FlowHashDemux, InfoClass, LocalView,
 };
 pub use crate::error::ModelError;
 pub use crate::fault::{FaultEvent, FaultPlan, PlaneMask};

@@ -115,6 +115,40 @@ mod tests {
     fn out_of_range_ports_are_rejected() {
         let csv = "0,9,0\n";
         assert!(read_csv(csv.as_bytes(), 3).is_err());
+        // Output side and the n boundary itself (ports are 0..n).
+        assert!(read_csv("0,0,9\n".as_bytes(), 3).is_err());
+        assert!(read_csv("0,3,0\n".as_bytes(), 3).is_err());
+        assert!(read_csv("0,2,2\n".as_bytes(), 3).is_ok());
+    }
+
+    #[test]
+    fn trailing_newlines_and_crlf_are_tolerated() {
+        // Editors love appending newlines; Windows tools write CRLF. Both
+        // parse to the same trace as the canonical form.
+        let canonical = read_csv("0,1,2\n3,0,1\n".as_bytes(), 3).unwrap();
+        let trailing = read_csv("0,1,2\n3,0,1\n\n\n".as_bytes(), 3).unwrap();
+        let no_final = read_csv("0,1,2\n3,0,1".as_bytes(), 3).unwrap();
+        let crlf = read_csv("slot,input,output\r\n0,1,2\r\n3,0,1\r\n".as_bytes(), 3).unwrap();
+        assert_eq!(trailing, canonical);
+        assert_eq!(no_final, canonical);
+        assert_eq!(crlf, canonical);
+    }
+
+    #[test]
+    fn header_only_file_is_an_empty_trace() {
+        let t = read_csv("slot,input,output\n".as_bytes(), 4).unwrap();
+        assert_eq!(t.len(), 0);
+        // ... and so is a completely empty file.
+        let t = read_csv("".as_bytes(), 4).unwrap();
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn header_after_first_line_is_data_and_rejected() {
+        // The header is only recognized on line 1; a stray one later is a
+        // parse error with the right line number.
+        let err = read_csv("0,1,2\nslot,input,output\n".as_bytes(), 3).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
     }
 
     #[test]

@@ -50,9 +50,21 @@ impl CioqSwitch {
 
     /// Advance one slot.
     pub fn slot(&mut self, now: Slot, arrivals: &[Cell], log: &mut RunLog) {
+        use pps_core::telemetry::{self, Engine, EventKind};
         pps_core::perf::record_slots(1);
         for cell in arrivals {
             debug_assert_eq!(cell.arrival, now);
+            if telemetry::on() {
+                telemetry::record(
+                    Engine::Cioq,
+                    now,
+                    EventKind::Arrival {
+                        cell: cell.id,
+                        input: cell.input,
+                        output: cell.output,
+                    },
+                );
+            }
             let j = cell.output.idx();
             let dt = match self.dt_last[j] {
                 Some(prev) => now.max(prev + 1),
@@ -81,6 +93,17 @@ impl CioqSwitch {
                 input_used[i] = true;
                 output_used[j] = true;
                 let (dt, cell) = self.voqs[i * self.n + j].pop_front().expect("head exists");
+                if telemetry::on() {
+                    // Parked at the output buffer awaiting its deadline turn.
+                    telemetry::record(
+                        Engine::Cioq,
+                        now,
+                        EventKind::ReseqHold {
+                            cell: cell.id,
+                            output: PortId(j as u32),
+                        },
+                    );
+                }
                 self.outq[j].insert((dt, cell.id));
                 self.parked.insert(cell.id, cell);
             }
@@ -91,6 +114,16 @@ impl CioqSwitch {
             if let Some(&(dt, id)) = self.outq[j].first() {
                 self.outq[j].remove(&(dt, id));
                 self.parked.remove(&id);
+                if telemetry::on() {
+                    telemetry::record(
+                        Engine::Cioq,
+                        now,
+                        EventKind::Depart {
+                            cell: id,
+                            output: PortId(j as u32),
+                        },
+                    );
+                }
                 log.set_departure(id, now);
             }
         }

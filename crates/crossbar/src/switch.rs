@@ -30,9 +30,21 @@ impl CrossbarSwitch {
     /// matching, and transfer matched head cells (which depart this slot —
     /// the crossbar is output-unbuffered at speedup 1).
     pub fn slot(&mut self, now: Slot, arrivals: &[Cell], log: &mut RunLog) {
+        use pps_core::telemetry::{self, Engine, EventKind};
         pps_core::perf::record_slots(1);
         for cell in arrivals {
             debug_assert_eq!(cell.arrival, now);
+            if telemetry::on() {
+                telemetry::record(
+                    Engine::Crossbar,
+                    now,
+                    EventKind::Arrival {
+                        cell: cell.id,
+                        input: cell.input,
+                        output: cell.output,
+                    },
+                );
+            }
             self.voqs[cell.input.idx() * self.n + cell.output.idx()].push(*cell);
         }
         let n = self.n;
@@ -43,6 +55,16 @@ impl CrossbarSwitch {
                 let cell = self.voqs[i * n + j]
                     .pop()
                     .expect("arbiter only matches occupied VOQs");
+                if telemetry::on() {
+                    telemetry::record(
+                        Engine::Crossbar,
+                        now,
+                        EventKind::Depart {
+                            cell: cell.id,
+                            output: PortId(*j as u32),
+                        },
+                    );
+                }
                 log.set_departure(cell.id, now);
                 self.transmitted += 1;
             }

@@ -9,8 +9,10 @@
 //! ppslab --out results/   # also write every table as CSV into results/
 //! ppslab perf        # quick simulator-throughput summary
 //! ppslab --jobs 4    # worker budget (default: available parallelism; 1 = serial)
-//! ppslab --parallel  # legacy alias for the default (kept for old scripts)
+//! ppslab --parallel  # deprecated no-op (the default is already parallel; use --jobs)
 //! ppslab --bench-json BENCH_experiments.json   # record wall-clock + slots/sec
+//! ppslab --telemetry counters          # event counters to stderr after the run
+//! ppslab --telemetry full --trace-out trace.json e3   # Perfetto-loadable trace
 //! ppslab custom --n 32 --k 8 --rprime 4 --algo rr --workload attack
 //! ```
 //!
@@ -19,6 +21,13 @@
 //! `--bench-json` times experiments one at a time (their inner sweeps still
 //! use the worker budget) so the per-experiment numbers are attributable,
 //! and writes them as JSON.
+//!
+//! Telemetry rides the same determinism contract: at `--telemetry full`
+//! every sweep point records into its own scope and the event bundle is
+//! absorbed in declared order, so `--trace-out` files are identical at any
+//! `--jobs`. The sink is picked from the `--trace-out` extension: `.json`
+//! is a Chrome trace-event file (open in Perfetto), `.csv` a flat table,
+//! anything else JSONL.
 
 use pps_experiments::sweep::SweepPlan;
 use pps_experiments::{registry, ExperimentOutput};
@@ -115,6 +124,24 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create --out directory");
     }
     let bench_path = flag_value(&args, "--bench-json").cloned();
+    let telemetry_level = match flag_value(&args, "--telemetry") {
+        Some(v) => pps_core::telemetry::Level::parse(v).unwrap_or_else(|| {
+            eprintln!("error: --telemetry must be off, counters, or full (got {v:?})");
+            std::process::exit(2);
+        }),
+        None => pps_core::telemetry::Level::Off,
+    };
+    pps_core::telemetry::set_level(telemetry_level);
+    let trace_out = flag_value(&args, "--trace-out").cloned();
+    if trace_out.is_some() && telemetry_level != pps_core::telemetry::Level::Full {
+        eprintln!("warning: --trace-out needs --telemetry full to have events to write");
+    }
+    if args.iter().any(|a| a == "--parallel") {
+        eprintln!(
+            "warning: --parallel is deprecated and has no effect \
+             (parallel is the default); use --jobs N to set the worker budget"
+        );
+    }
     // Worker budget: explicit --jobs wins; otherwise use every core
     // (--parallel is the legacy spelling of that default). Tables come out
     // byte-identical either way — see the sweep executor's contract.
@@ -128,7 +155,13 @@ fn main() {
     pps_experiments::sweep::set_jobs(jobs);
     // Positional args select experiments; skip the values of value-taking
     // flags.
-    let value_flags = ["--out", "--jobs", "--bench-json"];
+    let value_flags = [
+        "--out",
+        "--jobs",
+        "--bench-json",
+        "--telemetry",
+        "--trace-out",
+    ];
     let wanted: Vec<&String> = args
         .iter()
         .enumerate()
@@ -156,13 +189,20 @@ fn main() {
     // budget).
     let suite_start = std::time::Instant::now();
     let mut bench: Vec<BenchEntry> = Vec::new();
+    let tracing = telemetry_level == pps_core::telemetry::Level::Full;
     let outputs: Vec<ExperimentOutput> = if bench_path.is_some() {
         selected
             .iter()
             .map(|(id, runner)| {
                 let slots0 = pps_switch::perf::slots_simulated();
                 let start = std::time::Instant::now();
-                let out = runner();
+                let out = if tracing {
+                    let (out, log) = pps_core::telemetry::collect(*id, runner);
+                    pps_core::telemetry::absorb(log);
+                    out
+                } else {
+                    runner()
+                };
                 let secs = start.elapsed().as_secs_f64();
                 bench.push((id, secs, pps_switch::perf::slots_simulated() - slots0));
                 out
@@ -198,6 +238,28 @@ fn main() {
         println!();
         if !out.pass {
             failures += 1;
+        }
+    }
+    if tracing {
+        let root = pps_core::telemetry::EventLog {
+            label: "ppslab".into(),
+            events: Vec::new(),
+            overflowed: 0,
+            children: pps_core::telemetry::take_absorbed(),
+        };
+        eprint!("{}", pps_telemetry::summarize(&root));
+        if let Some(path) = &trace_out {
+            pps_telemetry::dump(&root, std::path::Path::new(path)).unwrap_or_else(|e| {
+                eprintln!("error: --trace-out {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("telemetry: {} events -> {path}", root.total_events());
+        }
+    }
+    if telemetry_level != pps_core::telemetry::Level::Off {
+        eprintln!("telemetry counters:");
+        for (name, value) in pps_core::telemetry::counters() {
+            eprintln!("  {name:<24} {value}");
         }
     }
     if failures > 0 {

@@ -38,46 +38,16 @@
 //! nested sweeps (experiments inside the registry sweep) never
 //! oversubscribe: at most `jobs` threads make progress at any instant.
 
+use pps_core::telemetry::{self, EventLog};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
-/// Process-wide worker budget (see [`set_jobs`]). The default of 1 keeps
-/// library users (tests, doc examples) serial until a driver opts in.
-static JOBS: AtomicUsize = AtomicUsize::new(1);
-/// Extra workers currently leased across all live sweeps.
-static LEASED: AtomicUsize = AtomicUsize::new(0);
-
-/// Set the process-wide parallelism budget: the maximum number of threads
-/// (callers + leased workers) simultaneously computing sweep points.
-/// `n = 1` means fully serial execution on the calling thread.
-pub fn set_jobs(n: usize) {
-    JOBS.store(n.max(1), Ordering::SeqCst);
-}
-
-/// The current process-wide parallelism budget.
-pub fn jobs() -> usize {
-    JOBS.load(Ordering::SeqCst)
-}
-
-/// Try to lease one extra worker from the shared budget; the lease must be
-/// returned with [`release_worker`].
-fn lease_worker() -> bool {
-    let budget = jobs().saturating_sub(1);
-    let mut cur = LEASED.load(Ordering::SeqCst);
-    loop {
-        if cur >= budget {
-            return false;
-        }
-        match LEASED.compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst) {
-            Ok(_) => return true,
-            Err(seen) => cur = seen,
-        }
-    }
-}
-
-fn release_worker() {
-    LEASED.fetch_sub(1, Ordering::SeqCst);
-}
+// The worker budget is process-wide state shared with other parallel
+// regions (notably `pps-traffic`'s alignment scans), so it lives in
+// `pps_core::workers`; re-export the driver-facing half here for
+// compatibility with existing callers.
+pub use pps_core::workers::{jobs, set_jobs};
+use pps_core::workers::{lease_worker, release_worker};
 
 /// Deterministic per-point seed: FNV-1a over the plan id and point index.
 /// Stable across runs, platforms, and job counts.
@@ -143,19 +113,31 @@ impl<P> SweepPlan<P> {
         if n == 0 {
             return Vec::new();
         }
+        // At `--telemetry full`, every point gets its own recording scope
+        // on whichever worker computes it; the captured logs travel back
+        // through the result channel and are absorbed *in declared point
+        // order* below, so the merged event bundle — like the tables — is
+        // byte-identical at any job count.
+        let tracing = telemetry::level() == telemetry::Level::Full;
         let cursor = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, R)>();
-        let work = |tx: mpsc::Sender<(usize, R)>| loop {
+        let (tx, rx) = mpsc::channel::<(usize, R, Option<EventLog>)>();
+        let work = |tx: mpsc::Sender<(usize, R, Option<EventLog>)>| loop {
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             if i >= n {
                 break;
             }
-            let r = f(SweepPoint {
+            let point = SweepPoint {
                 index: i,
                 seed: point_seed(self.id, i),
                 params: &self.points[i],
-            });
-            if tx.send((i, r)).is_err() {
+            };
+            let (r, log) = if tracing {
+                let (r, log) = telemetry::collect(format!("{}/{i}", self.id), || f(point));
+                (r, Some(log))
+            } else {
+                (f(point), None)
+            };
+            if tx.send((i, r, log)).is_err() {
                 break;
             }
         };
@@ -182,15 +164,24 @@ impl<P> SweepPlan<P> {
             })
             .expect("sweep worker panicked");
         }
-        // Merge in declared order; every index is sent exactly once.
-        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        for (i, r) in rx {
+        // Merge in declared order; every index is sent exactly once. Event
+        // logs are absorbed on this thread in the same order, so they land
+        // in the enclosing scope (nested sweeps) or the process bundle
+        // independent of which worker recorded them.
+        let mut slots: Vec<Option<(R, Option<EventLog>)>> = (0..n).map(|_| None).collect();
+        for (i, r, log) in rx {
             debug_assert!(slots[i].is_none(), "point {i} computed twice");
-            slots[i] = Some(r);
+            slots[i] = Some((r, log));
         }
         slots
             .into_iter()
-            .map(|s| s.expect("every sweep point yields a result"))
+            .map(|s| {
+                let (r, log) = s.expect("every sweep point yields a result");
+                if let Some(log) = log {
+                    telemetry::absorb(log);
+                }
+                r
+            })
             .collect()
     }
 }

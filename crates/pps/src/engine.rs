@@ -16,6 +16,7 @@
 
 use crate::fabric::{Fabric, FabricStats};
 use pps_core::prelude::*;
+use pps_core::telemetry::{self, Engine, EventKind, FaultKind};
 
 /// Outcome of a complete PPS run.
 #[derive(Clone, Debug)]
@@ -130,15 +131,27 @@ impl FaultSchedule {
             if ev.activates_at() > now {
                 break;
             }
-            match ev {
-                FaultEvent::PlaneDown { plane, .. } => fabric.fail_plane(plane.idx())?,
-                FaultEvent::PlaneUp { plane, .. } => fabric.recover_plane(plane.idx())?,
+            let (plane, kind) = match ev {
+                FaultEvent::PlaneDown { plane, .. } => {
+                    fabric.fail_plane(plane.idx())?;
+                    (plane, FaultKind::PlaneDown)
+                }
+                FaultEvent::PlaneUp { plane, .. } => {
+                    fabric.recover_plane(plane.idx())?;
+                    (plane, FaultKind::PlaneUp)
+                }
                 FaultEvent::LinkDegraded {
                     input,
                     plane,
                     until,
                     ..
-                } => fabric.degrade_link(input.idx(), plane.idx(), until)?,
+                } => {
+                    fabric.degrade_link(input.idx(), plane.idx(), until)?;
+                    (plane, FaultKind::LinkDegraded)
+                }
+            };
+            if telemetry::on() {
+                telemetry::record(Engine::Pps, now, EventKind::FaultApplied { plane, kind });
             }
             self.next += 1;
         }
@@ -228,6 +241,17 @@ impl<D: Demultiplexor> BufferlessPps<D> {
         self.demux.on_slot(now, self.bus.view(now));
         for cell in arrivals {
             debug_assert_eq!(cell.arrival, now);
+            if telemetry::on() {
+                telemetry::record(
+                    Engine::Pps,
+                    now,
+                    EventKind::Arrival {
+                        cell: cell.id,
+                        input: cell.input,
+                        output: cell.output,
+                    },
+                );
+            }
             self.fabric.register_arrival(cell);
             // Under link degradation an input can find *every* line busy —
             // the K >= r' guarantee only covers ordinary occupancy. A
@@ -250,6 +274,17 @@ impl<D: Demultiplexor> BufferlessPps<D> {
                 };
                 self.demux.dispatch(cell, &ctx)
             };
+            if telemetry::on() {
+                telemetry::record(
+                    Engine::Pps,
+                    now,
+                    EventKind::DemuxDecision {
+                        cell: cell.id,
+                        input: cell.input,
+                        plane,
+                    },
+                );
+            }
             self.fabric.dispatch(*cell, plane, now, log)?;
         }
         self.fabric.service(now)?;
@@ -396,6 +431,17 @@ impl<D: BufferedDemultiplexor> BufferedPps<D> {
             }
             if let Some(c) = arrival {
                 debug_assert_eq!(c.arrival, now);
+                if telemetry::on() {
+                    telemetry::record(
+                        Engine::Pps,
+                        now,
+                        EventKind::Arrival {
+                            cell: c.id,
+                            input: c.input,
+                            output: c.output,
+                        },
+                    );
+                }
                 self.fabric.register_arrival(&c);
             }
             let mut decision = std::mem::take(&mut self.decision);
@@ -454,10 +500,32 @@ impl<D: BufferedDemultiplexor> BufferedPps<D> {
                     index: idx,
                 })?;
             self.buffer_live[input] -= 1;
+            if telemetry::on() {
+                telemetry::record(
+                    Engine::Pps,
+                    now,
+                    EventKind::DemuxDecision {
+                        cell: cell.id,
+                        input: cell.input,
+                        plane,
+                    },
+                );
+            }
             self.fabric.dispatch(cell, plane, now, log)?;
         }
         match (arrival, decision.arrival) {
             (Some(cell), Some(ArrivalAction::Dispatch(plane))) => {
+                if telemetry::on() {
+                    telemetry::record(
+                        Engine::Pps,
+                        now,
+                        EventKind::DemuxDecision {
+                            cell: cell.id,
+                            input: cell.input,
+                            plane,
+                        },
+                    );
+                }
                 self.fabric.dispatch(cell, plane, now, log)?;
             }
             (Some(cell), Some(ArrivalAction::Enqueue)) | (Some(cell), None) => {

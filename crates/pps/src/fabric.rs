@@ -6,6 +6,7 @@
 use crate::output::OutputMux;
 use crate::plane::Plane;
 use pps_core::prelude::*;
+use pps_core::telemetry::{self, Engine, EventKind};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -68,9 +69,10 @@ impl Fabric {
             out_links: LinkBank::new(k, n, cfg.r_prime, LinkSide::PlaneToOutput),
             planes: (0..k).map(|_| Plane::new(n)).collect(),
             outputs: (0..n)
-                .map(|_| {
+                .map(|j| {
                     let mut mux = OutputMux::new(n, cfg.discipline);
                     mux.set_watchdog(cfg.watchdog);
+                    mux.set_port(PortId(j as u32));
                     mux
                 })
                 .collect(),
@@ -125,7 +127,19 @@ impl Fabric {
         }
         self.in_links.acquire(i, p, now)?;
         log.set_plane(cell.id, plane);
+        let id = cell.id;
         if self.planes[p].accept(cell) {
+            if telemetry::on() {
+                telemetry::record(
+                    Engine::Pps,
+                    now,
+                    EventKind::PlaneEnqueue {
+                        cell: id,
+                        plane,
+                        output: PortId(j as u32),
+                    },
+                );
+            }
             self.plane_len_live[p * self.cfg.n + j] += 1;
             // The queue may have become serviceable.
             let at = now.max(self.out_links.free_at(p, j));
@@ -172,6 +186,17 @@ impl Fabric {
             let cell = self.planes[p].pop_for(j).expect("non-empty checked");
             self.out_links.acquire(p, j, now)?;
             self.plane_len_live[p * self.cfg.n + j] -= 1;
+            if telemetry::on() {
+                telemetry::record(
+                    Engine::Pps,
+                    now,
+                    EventKind::PlaneDeliver {
+                        cell: cell.id,
+                        plane: PlaneId(p as u32),
+                        output: PortId(j as u32),
+                    },
+                );
+            }
             if self.outputs[j].deliver(cell, now) {
                 self.output_pending_live[j] += 1;
                 if !self.active_flag[j] {
@@ -195,6 +220,16 @@ impl Fabric {
             let mux = &mut self.outputs[j as usize];
             if let Some(cell) = mux.emit(now) {
                 self.output_pending_live[j as usize] -= 1;
+                if telemetry::on() {
+                    telemetry::record(
+                        Engine::Pps,
+                        now,
+                        EventKind::Depart {
+                            cell: cell.id,
+                            output: PortId(j),
+                        },
+                    );
+                }
                 log.set_departure(cell.id, now);
             }
             if mux.has_work() {

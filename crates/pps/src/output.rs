@@ -10,6 +10,7 @@
 //! of the paper), and unordered greedy (ablation only).
 
 use pps_core::prelude::*;
+use pps_core::telemetry::{self, Engine, EventKind};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -156,6 +157,9 @@ impl SeqRing {
 #[derive(Clone, Debug)]
 pub struct OutputMux {
     discipline: OutputDiscipline,
+    /// Which output port this mux serves (telemetry track id; defaults to
+    /// port 0 for muxes built outside a fabric, e.g. unit tests).
+    port: PortId,
     /// Cells eligible for emission right now, min-ordered by [`EmitKey`].
     /// (A binary heap, not a BTreeMap: insert/pop-min dominate the hot
     /// path and keys are never removed out of order.)
@@ -205,6 +209,7 @@ impl OutputMux {
     pub fn new(n: usize, discipline: OutputDiscipline) -> Self {
         OutputMux {
             discipline,
+            port: PortId(0),
             eligible: BinaryHeap::new(),
             reorder: (0..n).map(|_| SeqRing::default()).collect(),
             next_seq: vec![0; n],
@@ -228,6 +233,12 @@ impl OutputMux {
     /// can be emitted, the mux skips past the missing cell(s).
     pub fn set_watchdog(&mut self, timeout: Option<Slot>) {
         self.watchdog = timeout;
+    }
+
+    /// Tell the mux which output port it serves, so its telemetry events
+    /// land on the right track.
+    pub fn set_port(&mut self, port: PortId) {
+        self.port = port;
     }
 
     /// GlobalFcfs only: register that `id` has entered the switch bound for
@@ -276,6 +287,16 @@ impl OutputMux {
                 if cell.seq == self.next_seq[i] {
                     self.push_eligible(cell);
                 } else {
+                    if telemetry::on() {
+                        telemetry::record(
+                            Engine::Pps,
+                            now,
+                            EventKind::ReseqHold {
+                                cell: cell.id,
+                                output: self.port,
+                            },
+                        );
+                    }
                     self.reorder[i].insert(cell);
                 }
                 self.refresh_gap(i, now);
@@ -287,6 +308,17 @@ impl OutputMux {
                 }
                 self.held += 1;
                 self.max_held = self.max_held.max(self.held);
+                if telemetry::on() && self.in_flight.front() != Some(&cell.id) {
+                    // Parked behind a straggler still in transit.
+                    telemetry::record(
+                        Engine::Pps,
+                        now,
+                        EventKind::ReseqHold {
+                            cell: cell.id,
+                            output: self.port,
+                        },
+                    );
+                }
                 self.present.push(Reverse(ById(cell)));
             }
             OutputDiscipline::Greedy => {
@@ -340,7 +372,7 @@ impl OutputMux {
         let since = *self.stalled_since.get_or_insert(now);
         if let Some(limit) = self.watchdog {
             if self.discipline == OutputDiscipline::GlobalFcfs && now - since + 1 >= limit {
-                self.skip_stragglers();
+                self.skip_stragglers(now);
                 self.stalled_since = None;
                 return self.try_emit(now);
             }
@@ -363,9 +395,28 @@ impl OutputMux {
                 .min_seq()
                 .expect("blocked flows have waiting cells");
             // The gap [next_seq, seq) is declared lost.
-            self.skipped += u64::from(seq - self.next_seq[i]);
+            let lost = seq - self.next_seq[i];
+            self.skipped += u64::from(lost);
             self.next_seq[i] = seq;
             let head = self.reorder[i].remove(seq).unwrap();
+            if telemetry::on() {
+                telemetry::record(
+                    Engine::Pps,
+                    now,
+                    EventKind::WatchdogDrop {
+                        output: self.port,
+                        cells: lost,
+                    },
+                );
+                telemetry::record(
+                    Engine::Pps,
+                    now,
+                    EventKind::ReseqRelease {
+                        cell: head.id,
+                        output: self.port,
+                    },
+                );
+            }
             self.push_eligible(head);
             self.refresh_gap(i, now);
         }
@@ -380,6 +431,16 @@ impl OutputMux {
                 self.next_seq[i] = cell.seq + 1;
                 // The successor may now be eligible.
                 if let Some(next) = self.reorder[i].remove(self.next_seq[i]) {
+                    if telemetry::on() {
+                        telemetry::record(
+                            Engine::Pps,
+                            now,
+                            EventKind::ReseqRelease {
+                                cell: next.id,
+                                output: self.port,
+                            },
+                        );
+                    }
                     self.push_eligible(next);
                 }
                 self.refresh_gap(i, now);
@@ -413,17 +474,29 @@ impl OutputMux {
     /// oldest present cell — they are the stragglers blocking emission.
     /// Called by [`emit`](Self::emit) once a whole-mux stall outlives the
     /// watchdog timeout.
-    fn skip_stragglers(&mut self) {
+    fn skip_stragglers(&mut self, now: Slot) {
         let Some(Reverse(ById(oldest_present))) = self.present.peek() else {
             return;
         };
         let oldest_present = oldest_present.id;
+        let mut abandoned = 0u32;
         while let Some(&oldest) = self.in_flight.front() {
             if oldest >= oldest_present {
                 break;
             }
             self.in_flight.pop_front();
             self.skipped += 1;
+            abandoned += 1;
+        }
+        if abandoned > 0 && telemetry::on() {
+            telemetry::record(
+                Engine::Pps,
+                now,
+                EventKind::WatchdogDrop {
+                    output: self.port,
+                    cells: abandoned,
+                },
+            );
         }
     }
 

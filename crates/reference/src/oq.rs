@@ -36,12 +36,34 @@ impl ShadowOq {
     ///
     /// `arrivals` must all have `arrival == now`.
     pub fn slot(&mut self, now: Slot, arrivals: &[Cell], log: &mut RunLog) {
+        use pps_core::telemetry::{self, Engine, EventKind};
         for cell in arrivals {
             debug_assert_eq!(cell.arrival, now, "arrival slot mismatch");
+            if telemetry::on() {
+                telemetry::record(
+                    Engine::ShadowOq,
+                    now,
+                    EventKind::Arrival {
+                        cell: cell.id,
+                        input: cell.input,
+                        output: cell.output,
+                    },
+                );
+            }
             self.queues[cell.output.idx()].push(*cell);
         }
-        for q in &mut self.queues {
+        for (j, q) in self.queues.iter_mut().enumerate() {
             if let Some(cell) = q.pop() {
+                if telemetry::on() {
+                    telemetry::record(
+                        Engine::ShadowOq,
+                        now,
+                        EventKind::Depart {
+                            cell: cell.id,
+                            output: PortId(j as u32),
+                        },
+                    );
+                }
                 log.set_departure(cell.id, now);
             }
         }

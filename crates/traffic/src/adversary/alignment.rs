@@ -172,27 +172,80 @@ impl DispatchLog {
         }
     }
 
+    /// One plane's `(d, Reverse(total probes))` score — a pure column scan
+    /// of the recorded table.
+    fn score(&self, plane: usize) -> (usize, std::cmp::Reverse<usize>) {
+        let (mut d, mut total) = (0usize, 0usize);
+        for row in 0..self.inputs.len() {
+            let occ = self.first_occ[row * self.k + plane];
+            if occ != NEVER {
+                d += 1;
+                total += occ as usize;
+            }
+        }
+        (d, std::cmp::Reverse(total))
+    }
+
+    /// Score every plane into a plane-indexed vec. Tables big enough to pay
+    /// for threads fan the column scans out over workers leased from the
+    /// shared budget ([`pps_core::workers`]); scores are pure functions of
+    /// the table, so the vec — and everything reduced from it — is
+    /// identical at any budget.
+    fn plane_scores(&self) -> Vec<(usize, std::cmp::Reverse<usize>)> {
+        use pps_core::workers::WorkerLease;
+        // Below this many table cells the scan is cheaper than a thread
+        // spawn; stay on the calling thread.
+        const PAR_THRESHOLD: usize = 1 << 15;
+        let mut leases: Vec<WorkerLease> = Vec::new();
+        if self.inputs.len() * self.k >= PAR_THRESHOLD {
+            while leases.len() + 1 < self.k {
+                match WorkerLease::try_new() {
+                    Some(lease) => leases.push(lease),
+                    None => break,
+                }
+            }
+        }
+        if leases.is_empty() {
+            return (0..self.k).map(|p| self.score(p)).collect();
+        }
+        let threads = leases.len() + 1;
+        let chunk = self.k.div_ceil(threads);
+        let mut scores = vec![(0usize, std::cmp::Reverse(0usize)); self.k];
+        crossbeam::thread::scope(|scope| {
+            let mut rest = scores.as_mut_slice();
+            let mut lo = 0usize;
+            while rest.len() > chunk {
+                let (head, tail) = rest.split_at_mut(chunk);
+                rest = tail;
+                let base = lo;
+                lo += chunk;
+                scope.spawn(move |_| {
+                    for (i, slot) in head.iter_mut().enumerate() {
+                        *slot = self.score(base + i);
+                    }
+                });
+            }
+            for (i, slot) in rest.iter_mut().enumerate() {
+                *slot = self.score(lo + i);
+            }
+        })
+        .expect("alignment scoring worker panicked");
+        drop(leases);
+        scores
+    }
+
     /// The plan with the largest concentration `d` (ties: fewest total
     /// probe cells; equal on both: the highest plane, matching the old
     /// per-plane `max_by` search exactly). Only the winning plan is
-    /// materialized.
+    /// materialized. Large tables score their planes on leased workers —
+    /// see [`plane_scores`](Self::plane_scores); the winner is reduced here
+    /// in plane order, keeping the last-wins tie-break byte-exact.
     pub fn best_plan(&self) -> AlignmentPlan {
         assert!(self.k > 0, "at least one plane");
-        let score = |plane: usize| {
-            let (mut d, mut total) = (0usize, 0usize);
-            for row in 0..self.inputs.len() {
-                let occ = self.first_occ[row * self.k + plane];
-                if occ != NEVER {
-                    d += 1;
-                    total += occ as usize;
-                }
-            }
-            (d, std::cmp::Reverse(total))
-        };
+        let scores = self.plane_scores();
         let mut best = 0usize;
-        let mut best_score = score(0);
-        for plane in 1..self.k {
-            let s = score(plane);
+        let mut best_score = scores[0];
+        for (plane, &s) in scores.iter().enumerate().skip(1) {
             if s >= best_score {
                 best = plane;
                 best_score = s;
@@ -418,6 +471,31 @@ mod tests {
     }
 
     #[test]
+    fn parallel_scoring_matches_serial_byte_for_byte() {
+        // A table past the parallel threshold (2048 × 16 = 32768 cells)
+        // with every plane achieving the same d, so the tie-break — last
+        // wins, i.e. the highest plane — is what the equality exercises.
+        let n = 2048usize;
+        let k = 16usize;
+        let demux = Cycler {
+            next: (0..n).map(|i| (i % k) as u32).collect(),
+            k: k as u32,
+        };
+        let inputs: Vec<u32> = (0..n as u32).collect();
+        let log = DispatchLog::record(&demux, &inputs, k, 0, 2 * k);
+        let serial = log.best_plan();
+        pps_core::workers::set_jobs(8);
+        let parallel = log.best_plan();
+        pps_core::workers::set_jobs(1);
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            serial.plane,
+            (k - 1) as u32,
+            "ties resolve to the highest plane"
+        );
+    }
+
+    #[test]
     fn log_exposes_first_occurrences() {
         let demux = Cycler {
             next: vec![1],
@@ -436,8 +514,10 @@ mod tests {
     /// demultiplexor family the adversarial experiments probe.
     mod oracle_equality {
         use super::super::{best_alignment, oracle, plan_alignment};
+        use pps_core::demux::FlowHashDemux;
         use pps_switch::demux::{
-            PerFlowRoundRobinDemux, RandomDemux, RoundRobinDemux, StaticPartitionDemux,
+            HashFlowDemux, PerFlowRoundRobinDemux, RandomDemux, RoundRobinDemux,
+            StaticPartitionDemux,
         };
         use proptest::prelude::*;
 
@@ -482,6 +562,19 @@ mod tests {
             #[test]
             fn seeded_randomized(n in 2usize..16, k in 2usize..10, seed in 0u64..1_000, probes in 1usize..48) {
                 assert_matches_oracle(&RandomDemux::new(n, seed), n, k, probes);
+            }
+
+            #[test]
+            fn sticky_flow_hash(n in 2usize..20, k in 2usize..10, seed in 0u64..1_000, probes in 1usize..40) {
+                // The sticky pins make this one genuinely stateful: a probe
+                // that deviates re-pins the flow, so later probes follow
+                // the pin, not the hash home.
+                assert_matches_oracle(&FlowHashDemux::new(n, k, seed), n, k, probes);
+            }
+
+            #[test]
+            fn stateless_hash_flow(n in 2usize..20, k in 2usize..10, probes in 1usize..40) {
+                assert_matches_oracle(&HashFlowDemux::new(n, k), n, k, probes);
             }
         }
     }

@@ -1,13 +1,36 @@
 //! Offline stand-in for `criterion` 0.5: compiles the bench targets and,
-//! when run, times each closure over a few iterations with
-//! `std::time::Instant`. No statistics, warm-up, plots, or baselines.
+//! when run, times each closure with `std::time::Instant` over a few
+//! batched samples (batches sized so each sample spans a minimum wall
+//! time — single microsecond iterations are preemption lottery on a
+//! shared runner). No warm-up, plots, or saved baselines — but it
+//! reports the **median** per-iteration time (robust against a single cold
+//! or preempted sample, which is what the CI regression gate compares),
+//! and it honours criterion's positional name filter: `cargo bench --
+//! slot_throughput` runs only benches whose full name contains the
+//! substring.
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 pub use std::hint::black_box;
 
-const ITERS: u32 = 3;
+/// Samples per bench. Each sample is one *batch* of iterations sized so
+/// the batch lasts at least [`MIN_SAMPLE_NS`]: microsecond-scale benches
+/// would otherwise report the median of three single preemption-prone
+/// timings, which on a shared 1-CPU runner swings by 2x run to run.
+const SAMPLES: u32 = 5;
+const MIN_SAMPLE_NS: u128 = 10_000_000;
+
+/// The positional name filter from the command line (first argument not
+/// starting with `-`), as real criterion interprets it. Flags the libtest
+/// harness passes (`--bench`, `--exact`, …) are ignored.
+fn name_filter() -> Option<&'static str> {
+    static FILTER: OnceLock<Option<String>> = OnceLock::new();
+    FILTER
+        .get_or_init(|| std::env::args().skip(1).find(|a| !a.starts_with('-')))
+        .as_deref()
+}
 
 #[derive(Debug, Default)]
 pub struct Criterion {}
@@ -64,24 +87,41 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut b = Bencher { elapsed_ns: 0, iters: 0 };
+    if let Some(filter) = name_filter() {
+        if !name.contains(filter) {
+            return;
+        }
+    }
+    let mut b = Bencher { samples_ns: Vec::new() };
     f(&mut b);
-    let per_iter = b.elapsed_ns.checked_div(b.iters as u128).unwrap_or(0);
-    println!("bench {name:<60} {per_iter:>12} ns/iter (stub, {} iters)", b.iters);
+    b.samples_ns.sort_unstable();
+    let median = b.samples_ns.get(b.samples_ns.len() / 2).copied().unwrap_or(0);
+    println!(
+        "bench {name:<60} {median:>12} ns/iter (stub median of {})",
+        b.samples_ns.len()
+    );
 }
 
 pub struct Bencher {
-    elapsed_ns: u128,
-    iters: u64,
+    /// Per-iteration wall time; the report takes the median.
+    samples_ns: Vec<u128>,
 }
 
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        for _ in 0..ITERS {
+        // Calibration: time one iteration to size the batch so each
+        // sample spans at least MIN_SAMPLE_NS of wall time.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().as_nanos().max(1);
+        let batch = (MIN_SAMPLE_NS / once).clamp(1, 100_000) as u32;
+        for _ in 0..SAMPLES {
             let start = Instant::now();
-            black_box(f());
-            self.elapsed_ns += start.elapsed().as_nanos();
-            self.iters += 1;
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples_ns
+                .push(start.elapsed().as_nanos() / u128::from(batch));
         }
     }
 }
