@@ -1,0 +1,143 @@
+//! Cell-pool and batched-delivery microbenches (DESIGN.md §13): the cost
+//! of filling the structure-of-arrays pool, and the output-mux hot path —
+//! one `deliver_batch` per slot feeding the resequencer, in order and with
+//! forced reordering churn. Gated by `bench-compare` next to the
+//! experiment-level `slot_throughput` group.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pps_core::prelude::*;
+use pps_switch::output::OutputMux;
+
+/// `per_flow` cells from each of `k` inputs to one output, one cell per
+/// input per slot, ids in global arrival order (as `Trace::cells` assigns).
+fn flows(k: usize, per_flow: usize) -> Vec<Cell> {
+    let mut cells = Vec::with_capacity(k * per_flow);
+    for slot in 0..per_flow as u64 {
+        for input in 0..k as u32 {
+            cells.push(Cell {
+                id: CellId(cells.len() as u64),
+                input: PortId(input),
+                output: PortId(0),
+                seq: slot as u32,
+                arrival: slot,
+            });
+        }
+    }
+    cells
+}
+
+/// Filling the pool from a run's cell list — the per-run registration cost.
+fn bench_ensure_fill(c: &mut Criterion) {
+    let cells = flows(16, 4096);
+    let mut g = c.benchmark_group("cell_pool");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cells.len() as u64));
+    g.bench_with_input(
+        BenchmarkId::new("ensure_fill", cells.len()),
+        &cells,
+        |b, cells| {
+            let mut pool = CellPool::with_capacity(cells.len());
+            b.iter(|| {
+                pool.clear();
+                for cell in cells {
+                    pool.ensure(black_box(cell));
+                }
+                pool.len()
+            })
+        },
+    );
+    g.finish();
+}
+
+/// In-order batched delivery: one `deliver_batch` of `k` cells per slot,
+/// drained at line rate — the fabric's per-slot output path.
+fn bench_batch_delivery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cell_pool");
+    g.sample_size(10);
+    for k in [8usize, 16] {
+        let cells = flows(k, 2048);
+        let mut pool = CellPool::with_capacity(cells.len());
+        for cell in &cells {
+            pool.ensure(cell);
+        }
+        g.throughput(Throughput::Elements(cells.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("batch_delivery", format!("k{k}")),
+            &cells,
+            |b, cells| {
+                let ids: Vec<Vec<CellId>> = cells
+                    .chunks(k)
+                    .map(|slot_cells| slot_cells.iter().map(|c| c.id).collect())
+                    .collect();
+                b.iter(|| {
+                    let mut mux = OutputMux::new(k, OutputDiscipline::FlowFifo);
+                    let mut emitted = 0u64;
+                    for (slot, batch) in ids.iter().enumerate() {
+                        let now = slot as Slot;
+                        mux.deliver_batch(&pool, batch, now);
+                        while mux.emit(&pool, now).is_some() {
+                            emitted += 1;
+                        }
+                    }
+                    emitted
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Reordered batched delivery: every flow's cells arrive in swapped pairs
+/// (seq 1 before 0, 3 before 2, …), so each slot parks half the batch in
+/// the seq rings and releases it one slot later — resequencer churn.
+fn bench_reorder_churn(c: &mut Criterion) {
+    let k = 8usize;
+    let cells = flows(k, 2048);
+    let mut pool = CellPool::with_capacity(cells.len());
+    for cell in &cells {
+        pool.ensure(cell);
+    }
+    let mut g = c.benchmark_group("cell_pool");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cells.len() as u64));
+    g.bench_with_input(
+        BenchmarkId::new("reorder_churn", format!("k{k}")),
+        &cells,
+        |b, cells| {
+            // Swap adjacent slot batches: the whole batch of odd slots is
+            // delivered before its even predecessor.
+            let mut batches: Vec<Vec<CellId>> = cells
+                .chunks(k)
+                .map(|slot_cells| slot_cells.iter().map(|c| c.id).collect())
+                .collect();
+            for pair in batches.chunks_mut(2) {
+                if let [a, b] = pair {
+                    std::mem::swap(a, b);
+                }
+            }
+            b.iter(|| {
+                let mut mux = OutputMux::new(k, OutputDiscipline::FlowFifo);
+                let mut emitted = 0u64;
+                for (slot, batch) in batches.iter().enumerate() {
+                    let now = slot as Slot;
+                    mux.deliver_batch(&pool, batch, now);
+                    while mux.emit(&pool, now).is_some() {
+                        emitted += 1;
+                    }
+                }
+                emitted
+            })
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(
+    cell_pool,
+    bench_ensure_fill,
+    bench_batch_delivery,
+    bench_reorder_churn
+);
+criterion_main!(cell_pool);

@@ -33,6 +33,7 @@
 
 pub mod bounds;
 pub mod cell;
+pub mod cell_pool;
 pub mod config;
 pub mod demux;
 pub mod error;
@@ -53,6 +54,7 @@ pub mod trace_io;
 pub mod workers;
 
 pub use cell::Cell;
+pub use cell_pool::CellPool;
 pub use config::{BufferSpec, OutputDiscipline, PpsConfig};
 pub use demux::{BufferedDemultiplexor, Demultiplexor, DispatchCtx, InfoClass, LocalView};
 pub use error::ModelError;

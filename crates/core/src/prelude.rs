@@ -5,6 +5,7 @@
 //! run logs.
 
 pub use crate::cell::{Cell, RoutedCell};
+pub use crate::cell_pool::CellPool;
 pub use crate::config::{BufferSpec, OutputDiscipline, PpsConfig};
 pub use crate::demux::{
     ArrivalAction, BufferedDecision, BufferedDemultiplexor, Demultiplexor, DispatchCtx,

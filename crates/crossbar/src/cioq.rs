@@ -23,14 +23,15 @@ use std::collections::BTreeSet;
 pub struct CioqSwitch {
     n: usize,
     speedup: usize,
-    /// VOQ `(i, j)` holding `(deadline, cell)` in FIFO (= deadline) order.
-    voqs: Vec<std::collections::VecDeque<(Slot, Cell)>>,
+    /// VOQ `(i, j)` holding `(deadline, id)` in FIFO (= deadline) order —
+    /// the matching and the output buffer only ever need the id.
+    voqs: Vec<std::collections::VecDeque<(Slot, CellId)>>,
     /// FCFS-OQ deadline oracle per output.
     dt_last: Vec<Option<Slot>>,
     /// Output-side buffers: cells awaiting emission, keyed by deadline.
     outq: Vec<BTreeSet<(Slot, CellId)>>,
-    /// Cell payloads parked at the outputs.
-    parked: std::collections::HashMap<CellId, Cell>,
+    /// Cells currently parked at the outputs (`outq` entries).
+    parked: usize,
     max_outq: usize,
 }
 
@@ -43,7 +44,7 @@ impl CioqSwitch {
             voqs: (0..n * n).map(|_| Default::default()).collect(),
             dt_last: vec![None; n],
             outq: (0..n).map(|_| BTreeSet::new()).collect(),
-            parked: Default::default(),
+            parked: 0,
             max_outq: 0,
         }
     }
@@ -71,15 +72,15 @@ impl CioqSwitch {
                 None => now,
             };
             self.dt_last[j] = Some(dt);
-            self.voqs[cell.input.idx() * self.n + j].push_back((dt, *cell));
+            self.voqs[cell.input.idx() * self.n + j].push_back((dt, cell.id));
         }
         // s phases of greedy earliest-deadline-first maximal matching.
         for _phase in 0..self.speedup {
             let mut heads: Vec<(Slot, CellId, usize, usize)> = Vec::new();
             for i in 0..self.n {
                 for j in 0..self.n {
-                    if let Some(&(dt, cell)) = self.voqs[i * self.n + j].front() {
-                        heads.push((dt, cell.id, i, j));
+                    if let Some(&(dt, id)) = self.voqs[i * self.n + j].front() {
+                        heads.push((dt, id, i, j));
                     }
                 }
             }
@@ -92,20 +93,20 @@ impl CioqSwitch {
                 }
                 input_used[i] = true;
                 output_used[j] = true;
-                let (dt, cell) = self.voqs[i * self.n + j].pop_front().expect("head exists");
+                let (dt, id) = self.voqs[i * self.n + j].pop_front().expect("head exists");
                 if telemetry::on() {
                     // Parked at the output buffer awaiting its deadline turn.
                     telemetry::record(
                         Engine::Cioq,
                         now,
                         EventKind::ReseqHold {
-                            cell: cell.id,
+                            cell: id,
                             output: PortId(j as u32),
                         },
                     );
                 }
-                self.outq[j].insert((dt, cell.id));
-                self.parked.insert(cell.id, cell);
+                self.outq[j].insert((dt, id));
+                self.parked += 1;
             }
         }
         // Emission: earliest deadline per output, one per slot.
@@ -113,7 +114,7 @@ impl CioqSwitch {
             self.max_outq = self.max_outq.max(self.outq[j].len());
             if let Some(&(dt, id)) = self.outq[j].first() {
                 self.outq[j].remove(&(dt, id));
-                self.parked.remove(&id);
+                self.parked -= 1;
                 if telemetry::on() {
                     telemetry::record(
                         Engine::Cioq,
@@ -131,7 +132,7 @@ impl CioqSwitch {
 
     /// Cells still inside the switch.
     pub fn backlog(&self) -> usize {
-        self.voqs.iter().map(|q| q.len()).sum::<usize>() + self.parked.len()
+        self.voqs.iter().map(|q| q.len()).sum::<usize>() + self.parked
     }
 
     /// Largest output-queue occupancy reached.

@@ -9,8 +9,9 @@ use pps_core::prelude::*;
 #[derive(Clone, Debug)]
 pub struct CrossbarSwitch {
     n: usize,
-    /// VOQ `(i, j)` at `i * n + j`.
-    voqs: Vec<FifoQueue<Cell>>,
+    /// VOQ `(i, j)` at `i * n + j`, holding bare cell ids (the matching
+    /// only needs occupancy, the departure only the id).
+    voqs: Vec<FifoQueue<CellId>>,
     arbiter: IslipArbiter,
     transmitted: u64,
 }
@@ -45,14 +46,14 @@ impl CrossbarSwitch {
                     },
                 );
             }
-            self.voqs[cell.input.idx() * self.n + cell.output.idx()].push(*cell);
+            self.voqs[cell.input.idx() * self.n + cell.output.idx()].push(cell.id);
         }
         let n = self.n;
         let voqs = &self.voqs;
         let matching = self.arbiter.matching(|i, j| !voqs[i * n + j].is_empty());
         for (i, m) in matching.iter().enumerate() {
             if let Some(j) = m {
-                let cell = self.voqs[i * n + j]
+                let id = self.voqs[i * n + j]
                     .pop()
                     .expect("arbiter only matches occupied VOQs");
                 if telemetry::on() {
@@ -60,12 +61,12 @@ impl CrossbarSwitch {
                         Engine::Crossbar,
                         now,
                         EventKind::Depart {
-                            cell: cell.id,
+                            cell: id,
                             output: PortId(*j as u32),
                         },
                     );
                 }
-                log.set_departure(cell.id, now);
+                log.set_departure(id, now);
                 self.transmitted += 1;
             }
         }

@@ -301,6 +301,7 @@ impl<D: Demultiplexor> BufferlessPps<D> {
     /// Run a whole trace to completion (arrivals plus drain).
     pub fn run(&mut self, trace: &Trace) -> Result<PpsRun, ModelError> {
         let cells = trace.cells(self.fabric.cfg().n);
+        self.fabric.reserve_cells(cells.len());
         let mut log = RunLog::with_cells(&cells);
         let mut next = 0usize;
         let mut now: Slot = 0;
@@ -556,6 +557,7 @@ impl<D: BufferedDemultiplexor> BufferedPps<D> {
     /// Run a whole trace to completion (arrivals plus drain).
     pub fn run(&mut self, trace: &Trace) -> Result<PpsRun, ModelError> {
         let cells = trace.cells(self.fabric.cfg().n);
+        self.fabric.reserve_cells(cells.len());
         let mut log = RunLog::with_cells(&cells);
         let mut next = 0usize;
         let mut now: Slot = 0;

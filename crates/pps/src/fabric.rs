@@ -44,6 +44,9 @@ pub struct Fabric {
     out_links: LinkBank,
     planes: Vec<Plane>,
     outputs: Vec<OutputMux>,
+    /// Structure-of-arrays metadata for every cell that entered the switch
+    /// this run; plane queues and output muxes park bare ids against it.
+    pool: CellPool,
     /// Pending plane-service events: `(slot, plane, output)`.
     agenda: BinaryHeap<Reverse<(Slot, u32, u32)>>,
     /// Whether `(plane, output)` currently has an agenda entry.
@@ -76,6 +79,7 @@ impl Fabric {
                     mux
                 })
                 .collect(),
+            pool: CellPool::new(),
             agenda: BinaryHeap::new(),
             scheduled: vec![false; k * n],
             active_list: Vec::with_capacity(n),
@@ -101,10 +105,25 @@ impl Fabric {
         }
     }
 
-    /// Register a cell as inside the switch, bound for its output (needed
-    /// by the GlobalFcfs discipline to detect stragglers). Engines call
-    /// this at *switch arrival* so buffered cells count too.
+    /// The fabric's cell-metadata pool (read-only; populated by
+    /// [`register_arrival`](Self::register_arrival) and
+    /// [`dispatch`](Self::dispatch)).
+    pub fn pool(&self) -> &CellPool {
+        &self.pool
+    }
+
+    /// Pre-size the cell pool for a run of `cells` cells, so the metadata
+    /// arrays are allocated once instead of growing along the run.
+    pub fn reserve_cells(&mut self, cells: usize) {
+        self.pool.reserve(cells);
+    }
+
+    /// Register a cell as inside the switch, bound for its output: its
+    /// metadata enters the pool, and the GlobalFcfs discipline records it
+    /// for straggler detection. Engines call this at *switch arrival* so
+    /// buffered cells count too.
     pub fn register_arrival(&mut self, cell: &Cell) {
+        self.pool.ensure(cell);
         self.outputs[cell.output.idx()].register_in_flight(cell.id);
     }
 
@@ -128,7 +147,8 @@ impl Fabric {
         self.in_links.acquire(i, p, now)?;
         log.set_plane(cell.id, plane);
         let id = cell.id;
-        if self.planes[p].accept(cell) {
+        self.pool.ensure(&cell);
+        if self.planes[p].accept(id, j) {
             if telemetry::on() {
                 telemetry::record(
                     Engine::Pps,
@@ -183,7 +203,7 @@ impl Fabric {
                 self.schedule(p, j, at);
                 continue;
             }
-            let cell = self.planes[p].pop_for(j).expect("non-empty checked");
+            let id = self.planes[p].pop_for(j).expect("non-empty checked");
             self.out_links.acquire(p, j, now)?;
             self.plane_len_live[p * self.cfg.n + j] -= 1;
             if telemetry::on() {
@@ -191,13 +211,16 @@ impl Fabric {
                     Engine::Pps,
                     now,
                     EventKind::PlaneDeliver {
-                        cell: cell.id,
+                        cell: id,
                         plane: PlaneId(p as u32),
                         output: PortId(j as u32),
                     },
                 );
             }
-            if self.outputs[j].deliver(cell, now) {
+            // Classification is per cell (telemetry order preserved); heap
+            // pushes and gap refreshes are batched inside the mux and
+            // flushed by its `emit` this same slot.
+            if self.outputs[j].deliver(&self.pool, id, now) {
                 self.output_pending_live[j] += 1;
                 if !self.active_flag[j] {
                     self.active_flag[j] = true;
@@ -218,19 +241,19 @@ impl Fabric {
         for read in 0..self.active_list.len() {
             let j = self.active_list[read];
             let mux = &mut self.outputs[j as usize];
-            if let Some(cell) = mux.emit(now) {
+            if let Some(id) = mux.emit(&self.pool, now) {
                 self.output_pending_live[j as usize] -= 1;
                 if telemetry::on() {
                     telemetry::record(
                         Engine::Pps,
                         now,
                         EventKind::Depart {
-                            cell: cell.id,
+                            cell: id,
                             output: PortId(j),
                         },
                     );
                 }
-                log.set_departure(cell.id, now);
+                log.set_departure(id, now);
             }
             if mux.has_work() {
                 self.active_list[write] = j;
@@ -260,12 +283,12 @@ impl Fabric {
     /// not wait for them forever.
     pub fn fail_plane(&mut self, plane: usize) -> Result<(), ModelError> {
         self.check_plane(plane)?;
-        for cell in self.planes[plane].fail() {
-            let j = cell.output.idx();
+        for id in self.planes[plane].fail() {
+            let j = self.pool.output(id).idx();
             self.plane_len_live[plane * self.cfg.n + j] -= 1;
             self.dropped += 1;
             if self.cfg.discipline == OutputDiscipline::GlobalFcfs {
-                self.outputs[j].unregister_in_flight(cell.id);
+                self.outputs[j].unregister_in_flight(id);
             }
         }
         Ok(())

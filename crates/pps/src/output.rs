@@ -8,6 +8,17 @@
 //! [`pps_core::OutputDiscipline`]): flow-FIFO resequencing (default),
 //! global FCFS (exact mimicking of a FCFS output-queued switch, footnote 3
 //! of the paper), and unordered greedy (ablation only).
+//!
+//! The mux holds bare [`CellId`]s — metadata lives in the fabric's
+//! [`CellPool`] — and FlowFifo deliveries are *batched per slot*: each
+//! [`deliver`](OutputMux::deliver) classifies its cell (so per-cell
+//! telemetry keeps the exact delivery order) but defers the heap push and
+//! the gap-timer refresh to [`flush_batch`](OutputMux::flush_batch), which
+//! pushes every newly-eligible cell in one heap extend and refreshes each
+//! touched input's gap timer once. Deferral is sound because all of a
+//! slot's refreshes share the same `now`: the timer's end-of-slot state
+//! depends only on the final blocked/eligible state, which the batch and
+//! the per-delivery sequence agree on.
 
 use pps_core::prelude::*;
 use pps_core::telemetry::{self, Engine, EventKind};
@@ -18,51 +29,7 @@ use std::collections::{BinaryHeap, VecDeque};
 /// id (which encodes input order within a slot).
 type EmitKey = (Slot, CellId);
 
-/// Heap entry ordered by [`EmitKey`] alone (cell ids are unique, so the
-/// key equality is consistent with `Eq`).
-#[derive(Clone, Debug)]
-struct Eligible(EmitKey, Cell);
-
-impl PartialEq for Eligible {
-    fn eq(&self, other: &Self) -> bool {
-        self.0 == other.0
-    }
-}
-impl Eq for Eligible {}
-impl PartialOrd for Eligible {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Eligible {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.cmp(&other.0)
-    }
-}
-
-/// Heap entry for GlobalFcfs cells parked at the mux, min-ordered by cell
-/// id (ids are globally unique and encode FCFS order).
-#[derive(Clone, Debug)]
-struct ById(Cell);
-
-impl PartialEq for ById {
-    fn eq(&self, other: &Self) -> bool {
-        self.0.id == other.0.id
-    }
-}
-impl Eq for ById {}
-impl PartialOrd for ById {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for ById {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.id.cmp(&other.0.id)
-    }
-}
-
-/// Sparse sequence-indexed ring holding one flow's gap-blocked cells.
+/// Sparse sequence-indexed ring holding one flow's gap-blocked cell ids.
 ///
 /// Cells wait here keyed by their per-flow sequence number; at any moment
 /// the pending seqs live in a window no wider than the flow's in-switch
@@ -71,11 +38,12 @@ impl Ord for ById {
 /// occupancy check compares the stored seq, so a stale slot can never
 /// masquerade as a hit). Insert, remove-min, and min queries are O(1)
 /// amortized — the resequencer's whole hot path, which previously walked a
-/// `BTreeMap` per delivery and per emission.
+/// `BTreeMap` per delivery and per emission. Slots store `(seq, id)` — two
+/// words — instead of a whole `Cell`.
 #[derive(Clone, Debug, Default)]
 struct SeqRing {
     /// Power-of-two slot array (empty until the first insert).
-    slots: Vec<Option<Cell>>,
+    slots: Vec<Option<(u32, CellId)>>,
     /// Pending-cell count.
     len: usize,
     /// Exact smallest pending seq (meaningful while `len > 0`).
@@ -101,15 +69,14 @@ impl SeqRing {
         }
         let new_cap = span.next_power_of_two().max(8);
         let mut new_slots = vec![None; new_cap];
-        for cell in self.slots.drain(..).flatten() {
-            new_slots[cell.seq as usize & (new_cap - 1)] = Some(cell);
+        for (seq, id) in self.slots.drain(..).flatten() {
+            new_slots[seq as usize & (new_cap - 1)] = Some((seq, id));
         }
         self.slots = new_slots;
     }
 
-    /// Park `cell` under its sequence number.
-    fn insert(&mut self, cell: Cell) {
-        let seq = cell.seq;
+    /// Park cell `id` under its sequence number `seq`.
+    fn insert(&mut self, seq: u32, id: CellId) {
         let (lo, hi) = if self.len == 0 {
             (seq, seq)
         } else {
@@ -119,7 +86,7 @@ impl SeqRing {
         let mask = self.slots.len() - 1;
         let slot = &mut self.slots[seq as usize & mask];
         debug_assert!(slot.is_none(), "duplicate seq {seq} delivered");
-        *slot = Some(cell);
+        *slot = Some((seq, id));
         self.len += 1;
         self.min_seq = lo;
         self.max_seq = hi;
@@ -128,28 +95,28 @@ impl SeqRing {
     /// Take the cell parked under `seq`, if present. Callers only ever
     /// remove the current minimum (the head the flow is waiting on), so
     /// the min is maintained by scanning forward from the vacated slot.
-    fn remove(&mut self, seq: u32) -> Option<Cell> {
+    fn remove(&mut self, seq: u32) -> Option<CellId> {
         if self.len == 0 {
             return None;
         }
         let cap = self.slots.len();
         let slot = &mut self.slots[seq as usize & (cap - 1)];
         match slot {
-            Some(c) if c.seq == seq => {}
+            Some((s, _)) if *s == seq => {}
             _ => return None,
         }
-        let cell = slot.take();
+        let (_, id) = slot.take().expect("matched above");
         self.len -= 1;
         if self.len > 0 && seq == self.min_seq {
             let mut s = seq + 1;
             self.min_seq = loop {
-                if matches!(&self.slots[s as usize & (cap - 1)], Some(c) if c.seq == s) {
+                if matches!(&self.slots[s as usize & (cap - 1)], Some((q, _)) if *q == s) {
                     break s;
                 }
                 s += 1;
             };
         }
-        cell
+        Some(id)
     }
 }
 
@@ -163,14 +130,20 @@ pub struct OutputMux {
     /// Cells eligible for emission right now, min-ordered by [`EmitKey`].
     /// (A binary heap, not a BTreeMap: insert/pop-min dominate the hot
     /// path and keys are never removed out of order.)
-    eligible: BinaryHeap<Reverse<Eligible>>,
+    eligible: BinaryHeap<Reverse<EmitKey>>,
+    /// FlowFifo: emit keys classified eligible this slot but not yet pushed
+    /// — flushed into `eligible` in one extend by `flush_batch`.
+    pending: Vec<EmitKey>,
+    /// FlowFifo: inputs that received a delivery this slot and need one
+    /// gap-timer refresh at flush (deduplicated; at most K entries).
+    touched: Vec<u32>,
     /// FlowFifo: cells waiting for earlier cells of their flow, per input
     /// (seq-indexed rings — O(1) park/unpark, see [`SeqRing`]).
     reorder: Vec<SeqRing>,
     /// FlowFifo: next expected sequence number per input.
     next_seq: Vec<u32>,
-    /// FlowFifo: cells of each input currently in `eligible` (a flow with
-    /// an eligible cell is progressing, not gap-blocked).
+    /// FlowFifo: cells of each input currently in `eligible` or `pending`
+    /// (a flow with an eligible cell is progressing, not gap-blocked).
     eligible_count: Vec<u32>,
     /// FlowFifo: slot since which each input's flow has been gap-blocked
     /// (cells in reorder, none eligible) — the watchdog's per-flow timer.
@@ -182,8 +155,9 @@ pub struct OutputMux {
     /// out-of-order dispatch falls back to a binary-search insert.
     in_flight: VecDeque<CellId>,
     /// GlobalFcfs: cells parked at the mux, min-heap by id (emission only
-    /// ever takes the oldest).
-    present: BinaryHeap<Reverse<ById>>,
+    /// ever takes the oldest; ids are globally unique and encode FCFS
+    /// order).
+    present: BinaryHeap<Reverse<CellId>>,
     /// Number of cells currently held (all disciplines).
     held: usize,
     /// High-water mark of `held`.
@@ -211,6 +185,8 @@ impl OutputMux {
             discipline,
             port: PortId(0),
             eligible: BinaryHeap::new(),
+            pending: Vec::new(),
+            touched: Vec::new(),
             reorder: (0..n).map(|_| SeqRing::default()).collect(),
             next_seq: vec![0; n],
             eligible_count: vec![0; n],
@@ -230,7 +206,9 @@ impl OutputMux {
 
     /// Configure the resequencer watchdog (see [`PpsConfig::watchdog`]):
     /// after `timeout` consecutive slots in which cells are held but none
-    /// can be emitted, the mux skips past the missing cell(s).
+    /// can be emitted, the mux skips past the missing cell(s). The timeout
+    /// fires *during* the `timeout`-th consecutive blocked slot — a limit
+    /// of 1 skips in the very slot the stall is first observed.
     pub fn set_watchdog(&mut self, timeout: Option<Slot>) {
         self.watchdog = timeout;
     }
@@ -269,74 +247,112 @@ impl OutputMux {
         }
     }
 
-    /// A plane delivered `cell` to this output in slot `now`. Returns
+    /// A plane delivered cell `id` to this output in slot `now`. Returns
     /// `false` if the cell was discarded as *late*: the watchdog had
     /// already skipped past it, so emitting it now would reorder cells
     /// already sent on the external line. (Without a watchdog every
     /// delivery is accepted.)
-    pub fn deliver(&mut self, cell: Cell, now: Slot) -> bool {
+    ///
+    /// FlowFifo heap pushes and gap-timer refreshes are deferred to
+    /// [`flush_batch`](Self::flush_batch); [`emit`](Self::emit) flushes
+    /// implicitly, so deliver/emit sequences need no explicit flush.
+    pub fn deliver(&mut self, pool: &CellPool, id: CellId, now: Slot) -> bool {
         match self.discipline {
             OutputDiscipline::FlowFifo => {
-                let i = cell.input.idx();
-                if cell.seq < self.next_seq[i] {
+                let i = pool.input(id).idx();
+                let seq = pool.seq(id);
+                if seq < self.next_seq[i] {
                     self.late_dropped += 1;
                     return false;
                 }
                 self.held += 1;
                 self.max_held = self.max_held.max(self.held);
-                if cell.seq == self.next_seq[i] {
-                    self.push_eligible(cell);
+                if seq == self.next_seq[i] {
+                    self.eligible_count[i] += 1;
+                    self.pending.push((pool.arrival(id), id));
                 } else {
                     if telemetry::on() {
                         telemetry::record(
                             Engine::Pps,
                             now,
                             EventKind::ReseqHold {
-                                cell: cell.id,
+                                cell: id,
                                 output: self.port,
                             },
                         );
                     }
-                    self.reorder[i].insert(cell);
+                    self.reorder[i].insert(seq, id);
                 }
-                self.refresh_gap(i, now);
+                let i = i as u32;
+                if !self.touched.contains(&i) {
+                    self.touched.push(i);
+                }
             }
             OutputDiscipline::GlobalFcfs => {
-                if self.in_flight.binary_search(&cell.id).is_err() {
+                if self.in_flight.binary_search(&id).is_err() {
                     self.late_dropped += 1;
                     return false;
                 }
                 self.held += 1;
                 self.max_held = self.max_held.max(self.held);
-                if telemetry::on() && self.in_flight.front() != Some(&cell.id) {
+                if telemetry::on() && self.in_flight.front() != Some(&id) {
                     // Parked behind a straggler still in transit.
                     telemetry::record(
                         Engine::Pps,
                         now,
                         EventKind::ReseqHold {
-                            cell: cell.id,
+                            cell: id,
                             output: self.port,
                         },
                     );
                 }
-                self.present.push(Reverse(ById(cell)));
+                self.present.push(Reverse(id));
             }
             OutputDiscipline::Greedy => {
                 self.held += 1;
                 self.max_held = self.max_held.max(self.held);
-                self.eligible
-                    .push(Reverse(Eligible((cell.arrival, cell.id), cell)));
+                self.eligible.push(Reverse((pool.arrival(id), id)));
             }
         }
         true
     }
 
-    fn push_eligible(&mut self, cell: Cell) {
-        if self.discipline == OutputDiscipline::FlowFifo {
-            self.eligible_count[cell.input.idx()] += 1;
+    /// Deliver a whole slot's arrivals for this output in one call. Cells
+    /// are classified in order — the per-cell telemetry
+    /// (`ReseqHold`, late drops) is identical to calling
+    /// [`deliver`](Self::deliver) per cell — and then the batch is flushed:
+    /// every newly-eligible cell lands in the heap via one extend and each
+    /// touched input's gap timer is refreshed once. Returns how many cells
+    /// were accepted (not late-dropped).
+    pub fn deliver_batch(&mut self, pool: &CellPool, ids: &[CellId], now: Slot) -> usize {
+        let mut accepted = 0usize;
+        for &id in ids {
+            if self.deliver(pool, id, now) {
+                accepted += 1;
+            }
         }
-        self.eligible
-            .push(Reverse(Eligible((cell.arrival, cell.id), cell)));
+        self.flush_batch(now);
+        accepted
+    }
+
+    /// Flush deliveries deferred by [`deliver`](Self::deliver): one heap
+    /// extend for all pending eligible cells, one gap-timer refresh per
+    /// touched input. Idempotent; called automatically at the start of
+    /// [`emit`](Self::emit).
+    pub fn flush_batch(&mut self, now: Slot) {
+        if !self.pending.is_empty() {
+            self.eligible.extend(self.pending.drain(..).map(Reverse));
+        }
+        for k in 0..self.touched.len() {
+            let i = self.touched[k] as usize;
+            self.refresh_gap(i, now);
+        }
+        self.touched.clear();
+    }
+
+    fn push_eligible(&mut self, pool: &CellPool, id: CellId) {
+        self.eligible_count[pool.input(id).idx()] += 1;
+        self.eligible.push(Reverse((pool.arrival(id), id)));
     }
 
     /// Restart or clear input `i`'s gap timer: the flow is gap-blocked iff
@@ -356,33 +372,39 @@ impl OutputMux {
     /// per-flow for FlowFifo (a gap must not wait behind other flows'
     /// emissions), whole-mux for GlobalFcfs (where a straggler blocks
     /// everything by definition).
-    pub fn emit(&mut self, now: Slot) -> Option<Cell> {
+    pub fn emit(&mut self, pool: &CellPool, now: Slot) -> Option<CellId> {
+        self.flush_batch(now);
         if self.watchdog.is_some() && self.discipline == OutputDiscipline::FlowFifo {
-            self.expire_gaps(now);
+            self.expire_gaps(pool, now);
         }
-        if let Some(cell) = self.try_emit(now) {
+        if let Some(id) = self.try_emit(pool, now) {
             self.stalled_since = None;
-            return Some(cell);
+            return Some(id);
         }
         if self.held == 0 {
             self.stalled_since = None;
             return None;
         }
-        self.stalled_slots += 1;
         let since = *self.stalled_since.get_or_insert(now);
         if let Some(limit) = self.watchdog {
             if self.discipline == OutputDiscipline::GlobalFcfs && now - since + 1 >= limit {
                 self.skip_stragglers(now);
                 self.stalled_since = None;
-                return self.try_emit(now);
+                if let Some(id) = self.try_emit(pool, now) {
+                    // The skip unblocked an emission, so by definition
+                    // ("held cells but emitted nothing") this slot is not
+                    // stalled — it must not be counted below.
+                    return Some(id);
+                }
             }
         }
+        self.stalled_slots += 1;
         None
     }
 
     /// FlowFifo watchdog: skip past the gap of every flow that has been
     /// blocked for the timeout, making its waiting head eligible.
-    fn expire_gaps(&mut self, now: Slot) {
+    fn expire_gaps(&mut self, pool: &CellPool, now: Slot) {
         let limit = self.watchdog.expect("caller checked");
         for i in 0..self.blocked_since.len() {
             let Some(since) = self.blocked_since[i] else {
@@ -398,7 +420,7 @@ impl OutputMux {
             let lost = seq - self.next_seq[i];
             self.skipped += u64::from(lost);
             self.next_seq[i] = seq;
-            let head = self.reorder[i].remove(seq).unwrap();
+            let head = self.reorder[i].remove(seq).expect("min seq is present");
             if telemetry::on() {
                 telemetry::record(
                     Engine::Pps,
@@ -412,23 +434,23 @@ impl OutputMux {
                     Engine::Pps,
                     now,
                     EventKind::ReseqRelease {
-                        cell: head.id,
+                        cell: head,
                         output: self.port,
                     },
                 );
             }
-            self.push_eligible(head);
+            self.push_eligible(pool, head);
             self.refresh_gap(i, now);
         }
     }
 
-    fn try_emit(&mut self, now: Slot) -> Option<Cell> {
-        let cell = match self.discipline {
+    fn try_emit(&mut self, pool: &CellPool, now: Slot) -> Option<CellId> {
+        let id = match self.discipline {
             OutputDiscipline::FlowFifo => {
-                let Reverse(Eligible(_, cell)) = self.eligible.pop()?;
-                let i = cell.input.idx();
+                let Reverse((_, id)) = self.eligible.pop()?;
+                let i = pool.input(id).idx();
                 self.eligible_count[i] -= 1;
-                self.next_seq[i] = cell.seq + 1;
+                self.next_seq[i] = pool.seq(id) + 1;
                 // The successor may now be eligible.
                 if let Some(next) = self.reorder[i].remove(self.next_seq[i]) {
                     if telemetry::on() {
@@ -436,20 +458,20 @@ impl OutputMux {
                             Engine::Pps,
                             now,
                             EventKind::ReseqRelease {
-                                cell: next.id,
+                                cell: next,
                                 output: self.port,
                             },
                         );
                     }
-                    self.push_eligible(next);
+                    self.push_eligible(pool, next);
                 }
                 self.refresh_gap(i, now);
-                cell
+                id
             }
             OutputDiscipline::GlobalFcfs => {
                 // Emit the oldest present cell only if nothing older is
                 // still in transit inside the switch.
-                let oldest_present = self.present.peek()?.0 .0.id;
+                let &Reverse(oldest_present) = self.present.peek()?;
                 let &oldest_in_flight = self
                     .in_flight
                     .front()
@@ -458,16 +480,16 @@ impl OutputMux {
                     return None; // wait for the straggler
                 }
                 self.in_flight.pop_front();
-                self.present.pop().expect("peeked above").0 .0
+                self.present.pop().expect("peeked above").0
             }
             OutputDiscipline::Greedy => {
-                let Reverse(Eligible(_, cell)) = self.eligible.pop()?;
-                cell
+                let Reverse((_, id)) = self.eligible.pop()?;
+                id
             }
         };
         self.held -= 1;
         self.emitted += 1;
-        Some(cell)
+        Some(id)
     }
 
     /// GlobalFcfs watchdog: abandon in-flight registrations older than the
@@ -475,10 +497,9 @@ impl OutputMux {
     /// Called by [`emit`](Self::emit) once a whole-mux stall outlives the
     /// watchdog timeout.
     fn skip_stragglers(&mut self, now: Slot) {
-        let Some(Reverse(ById(oldest_present))) = self.present.peek() else {
+        let Some(&Reverse(oldest_present)) = self.present.peek() else {
             return;
         };
-        let oldest_present = oldest_present.id;
         let mut abandoned = 0u32;
         while let Some(&oldest) = self.in_flight.front() {
             if oldest >= oldest_present {
@@ -552,73 +573,128 @@ mod tests {
         }
     }
 
+    /// Pool-backed test harness: mirrors the fabric's pool bookkeeping so
+    /// test bodies read like the pre-pool API.
+    struct Rig {
+        pool: CellPool,
+        m: OutputMux,
+    }
+
+    impl Rig {
+        fn new(n: usize, discipline: OutputDiscipline) -> Self {
+            Rig {
+                pool: CellPool::new(),
+                m: OutputMux::new(n, discipline),
+            }
+        }
+
+        fn deliver(&mut self, c: Cell, now: Slot) -> bool {
+            self.pool.ensure(&c);
+            self.m.deliver(&self.pool, c.id, now)
+        }
+
+        fn emit(&mut self, now: Slot) -> Option<CellId> {
+            self.m.emit(&self.pool, now)
+        }
+
+        fn emit_seq(&mut self, now: Slot) -> Option<u32> {
+            self.emit(now).map(|id| self.pool.seq(id))
+        }
+    }
+
     #[test]
     fn flow_fifo_resequences_within_flow() {
-        let mut m = OutputMux::new(2, OutputDiscipline::FlowFifo);
+        let mut m = Rig::new(2, OutputDiscipline::FlowFifo);
         // Flow from input 0 delivered out of order: seq 1 first.
         assert!(m.deliver(cell(1, 0, 1, 1), 0));
         assert_eq!(m.emit(0), None); // seq 0 missing — blocked
         assert!(m.deliver(cell(0, 0, 0, 0), 1));
-        assert_eq!(m.emit(1).unwrap().id, CellId(0));
-        assert_eq!(m.emit(2).unwrap().id, CellId(1));
+        assert_eq!(m.emit(1), Some(CellId(0)));
+        assert_eq!(m.emit(2), Some(CellId(1)));
         assert_eq!(m.emit(3), None);
     }
 
     #[test]
     fn flow_fifo_does_not_block_other_flows() {
-        let mut m = OutputMux::new(2, OutputDiscipline::FlowFifo);
+        let mut m = Rig::new(2, OutputDiscipline::FlowFifo);
         m.deliver(cell(5, 0, 1, 5), 0); // blocked: waits for seq 0 of input 0
         m.deliver(cell(7, 1, 0, 7), 0); // eligible
-        assert_eq!(m.emit(0).unwrap().id, CellId(7));
+        assert_eq!(m.emit(0), Some(CellId(7)));
         assert_eq!(m.emit(1), None);
-        assert_eq!(m.held(), 1);
+        assert_eq!(m.m.held(), 1);
     }
 
     #[test]
     fn flow_fifo_prefers_earliest_arrival() {
-        let mut m = OutputMux::new(2, OutputDiscipline::FlowFifo);
+        let mut m = Rig::new(2, OutputDiscipline::FlowFifo);
         m.deliver(cell(9, 1, 0, 9), 9);
         m.deliver(cell(3, 0, 0, 3), 9);
-        assert_eq!(m.emit(9).unwrap().id, CellId(3));
+        assert_eq!(m.emit(9), Some(CellId(3)));
     }
 
     #[test]
     fn global_fcfs_waits_for_stragglers() {
-        let mut m = OutputMux::new(2, OutputDiscipline::GlobalFcfs);
-        m.register_in_flight(CellId(1));
-        m.register_in_flight(CellId(2));
+        let mut m = Rig::new(2, OutputDiscipline::GlobalFcfs);
+        m.m.register_in_flight(CellId(1));
+        m.m.register_in_flight(CellId(2));
         m.deliver(cell(2, 1, 0, 0), 0);
         // Cell 1 is still in a plane: the mux must idle.
         assert_eq!(m.emit(0), None);
         m.deliver(cell(1, 0, 0, 0), 1);
-        assert_eq!(m.emit(1).unwrap().id, CellId(1));
-        assert_eq!(m.emit(2).unwrap().id, CellId(2));
+        assert_eq!(m.emit(1), Some(CellId(1)));
+        assert_eq!(m.emit(2), Some(CellId(2)));
     }
 
     #[test]
     fn greedy_emits_anything_earliest_first() {
-        let mut m = OutputMux::new(2, OutputDiscipline::Greedy);
+        let mut m = Rig::new(2, OutputDiscipline::Greedy);
         m.deliver(cell(5, 0, 1, 5), 0); // out of order within its flow — greedy does not care
         m.deliver(cell(8, 0, 0, 8), 0);
-        assert_eq!(m.emit(0).unwrap().id, CellId(5));
-        assert_eq!(m.emit(1).unwrap().id, CellId(8));
+        assert_eq!(m.emit(0), Some(CellId(5)));
+        assert_eq!(m.emit(1), Some(CellId(8)));
     }
 
     #[test]
     fn high_water_mark() {
-        let mut m = OutputMux::new(1, OutputDiscipline::FlowFifo);
+        let mut m = Rig::new(1, OutputDiscipline::FlowFifo);
         m.deliver(cell(0, 0, 0, 0), 0);
         m.deliver(cell(1, 0, 1, 0), 0);
         m.emit(0);
         m.deliver(cell(2, 0, 2, 0), 1);
-        assert_eq!(m.max_held(), 2);
-        assert_eq!(m.emitted(), 1);
+        assert_eq!(m.m.max_held(), 2);
+        assert_eq!(m.m.emitted(), 1);
+    }
+
+    #[test]
+    fn deliver_batch_matches_per_cell_delivery() {
+        // Same cells, same slot: one batched call vs. per-cell calls with
+        // the implicit flush at emit. Emission order and counters agree.
+        let cells = [
+            cell(4, 0, 1, 4), // blocked behind seq 0 of input 0
+            cell(2, 1, 0, 2), // eligible
+            cell(3, 0, 0, 3), // fills input 0's gap
+        ];
+        let mut batched = Rig::new(2, OutputDiscipline::FlowFifo);
+        for c in &cells {
+            batched.pool.ensure(c);
+        }
+        let ids: Vec<CellId> = cells.iter().map(|c| c.id).collect();
+        assert_eq!(batched.m.deliver_batch(&batched.pool, &ids, 5), 3);
+        let mut single = Rig::new(2, OutputDiscipline::FlowFifo);
+        for c in &cells {
+            assert!(single.deliver(*c, 5));
+        }
+        for now in 5..9 {
+            assert_eq!(batched.emit(now), single.emit(now));
+        }
+        assert_eq!(batched.m.held(), 0);
+        assert_eq!(single.m.held(), 0);
     }
 
     #[test]
     fn watchdog_skips_past_a_lost_cell() {
-        let mut m = OutputMux::new(1, OutputDiscipline::FlowFifo);
-        m.set_watchdog(Some(3));
+        let mut m = Rig::new(1, OutputDiscipline::FlowFifo);
+        m.m.set_watchdog(Some(3));
         // seq 0 was lost to a failed plane; seq 1 and 2 arrive in slot 10.
         m.deliver(cell(1, 0, 1, 1), 10);
         m.deliver(cell(2, 0, 2, 2), 10);
@@ -626,16 +702,41 @@ mod tests {
         assert_eq!(m.emit(11), None); // gap blocked 2 slots
                                       // Third blocked slot hits the 3-slot timeout: skip past seq 0 and
                                       // emit seq 1 in the same slot.
-        assert_eq!(m.emit(12).unwrap().seq, 1);
-        assert_eq!(m.emit(13).unwrap().seq, 2);
-        assert_eq!(m.skipped(), 1);
-        assert_eq!(m.stalled_slots(), 2);
+        assert_eq!(m.emit_seq(12), Some(1));
+        assert_eq!(m.emit_seq(13), Some(2));
+        assert_eq!(m.m.skipped(), 1);
+        assert_eq!(m.m.stalled_slots(), 2);
+    }
+
+    #[test]
+    fn watchdog_fires_during_limit_th_blocked_slot_exactly() {
+        // Slot-exact pin of the boundary: with limit L, a gap first
+        // observed blocked in slot s fires in slot s + L − 1 (the L-th
+        // consecutive blocked slot), not one slot later. Counters pin the
+        // DESIGN.md definitions: the firing slot emits, so only the L − 1
+        // preceding slots count as stalled; the gap counts as skipped.
+        for limit in 1..=4u64 {
+            let mut m = Rig::new(1, OutputDiscipline::FlowFifo);
+            m.m.set_watchdog(Some(limit));
+            m.deliver(cell(1, 0, 1, 1), 20);
+            for offset in 0..limit - 1 {
+                assert_eq!(m.emit(20 + offset), None, "limit {limit}: blocked");
+            }
+            assert_eq!(
+                m.emit_seq(20 + limit - 1),
+                Some(1),
+                "limit {limit}: must fire in the {limit}-th blocked slot"
+            );
+            assert_eq!(m.m.skipped(), 1);
+            assert_eq!(m.m.stalled_slots(), limit - 1);
+            assert_eq!(m.m.late_dropped(), 0);
+        }
     }
 
     #[test]
     fn watchdog_gap_timer_ignores_other_flow_progress() {
-        let mut m = OutputMux::new(2, OutputDiscipline::FlowFifo);
-        m.set_watchdog(Some(4));
+        let mut m = Rig::new(2, OutputDiscipline::FlowFifo);
+        m.m.set_watchdog(Some(4));
         m.deliver(cell(9, 0, 1, 0), 0); // waits for seq 0 of input 0
         assert_eq!(m.emit(0), None);
         assert_eq!(m.emit(1), None);
@@ -643,56 +744,73 @@ mod tests {
         // input 0's countdown keeps running instead of resetting (a busy mux
         // must not let gap-blocked flows rot behind other flows' progress).
         m.deliver(cell(4, 1, 0, 1), 2);
-        assert_eq!(m.emit(2).unwrap().id, CellId(4));
+        assert_eq!(m.emit(2), Some(CellId(4)));
         // Slot 3 is the 4th slot input 0 has been blocked: timeout fires.
-        assert_eq!(m.emit(3).unwrap().id, CellId(9));
-        assert_eq!(m.skipped(), 1);
+        assert_eq!(m.emit(3), Some(CellId(9)));
+        assert_eq!(m.m.skipped(), 1);
     }
 
     #[test]
     fn late_cell_is_dropped_not_reordered() {
-        let mut m = OutputMux::new(1, OutputDiscipline::FlowFifo);
-        m.set_watchdog(Some(1));
+        let mut m = Rig::new(1, OutputDiscipline::FlowFifo);
+        m.m.set_watchdog(Some(1));
         m.deliver(cell(1, 0, 1, 1), 5);
         // Immediate skip past missing seq 0.
-        assert_eq!(m.emit(5).unwrap().seq, 1);
+        assert_eq!(m.emit_seq(5), Some(1));
         // seq 0 shows up late (straggler from a slow plane): emitting it now
         // would reorder the flow, so it must be discarded.
         assert!(!m.deliver(cell(0, 0, 0, 0), 6));
         assert_eq!(m.emit(6), None);
-        assert_eq!(m.late_dropped(), 1);
-        assert_eq!(m.held(), 0);
+        assert_eq!(m.m.late_dropped(), 1);
+        assert_eq!(m.m.held(), 0);
     }
 
     #[test]
     fn expired_gaps_emit_in_emit_key_order() {
-        let mut m = OutputMux::new(2, OutputDiscipline::FlowFifo);
-        m.set_watchdog(Some(1));
+        let mut m = Rig::new(2, OutputDiscipline::FlowFifo);
+        m.m.set_watchdog(Some(1));
         // Both inputs are gap-blocked and both timeouts expire in slot 0,
         // so both gaps are declared lost at once; emission then follows the
         // emit key — input 1's waiting cell arrived earlier and goes first.
         m.deliver(cell(10, 0, 3, 7), 0);
         m.deliver(cell(11, 1, 2, 4), 0);
-        let first = m.emit(0).unwrap();
-        assert_eq!(first.id, CellId(11));
-        assert_eq!(m.skipped(), 5); // seqs 0–1 of input 1 and 0–2 of input 0
-        let second = m.emit(1).unwrap();
-        assert_eq!(second.id, CellId(10));
+        assert_eq!(m.emit(0), Some(CellId(11)));
+        assert_eq!(m.m.skipped(), 5); // seqs 0–1 of input 1 and 0–2 of input 0
+        assert_eq!(m.emit(1), Some(CellId(10)));
     }
 
     #[test]
     fn global_fcfs_watchdog_abandons_stragglers() {
-        let mut m = OutputMux::new(2, OutputDiscipline::GlobalFcfs);
-        m.set_watchdog(Some(2));
-        m.register_in_flight(CellId(1));
-        m.register_in_flight(CellId(2));
+        let mut m = Rig::new(2, OutputDiscipline::GlobalFcfs);
+        m.m.set_watchdog(Some(2));
+        m.m.register_in_flight(CellId(1));
+        m.m.register_in_flight(CellId(2));
         m.deliver(cell(2, 1, 0, 0), 0);
         assert_eq!(m.emit(0), None); // waiting for cell 1
                                      // Second stalled slot: give up on cell 1 and emit cell 2.
-        assert_eq!(m.emit(1).unwrap().id, CellId(2));
-        assert_eq!(m.skipped(), 1);
+        assert_eq!(m.emit(1), Some(CellId(2)));
+        assert_eq!(m.m.skipped(), 1);
         // If cell 1 then limps in, it is late: accepted order already went out.
         assert!(!m.deliver(cell(1, 0, 0, 0), 2));
-        assert_eq!(m.late_dropped(), 1);
+        assert_eq!(m.m.late_dropped(), 1);
+    }
+
+    #[test]
+    fn global_fcfs_firing_slot_that_emits_is_not_stalled() {
+        // Regression for the stall counter: the slot in which the watchdog
+        // fires *and* an emission goes out must not be counted stalled —
+        // DESIGN.md defines stalled_slots as "held cells but emitted
+        // nothing". Before the fix the counter was bumped before the
+        // watchdog check, over-counting every firing slot by one.
+        let mut m = Rig::new(2, OutputDiscipline::GlobalFcfs);
+        m.m.set_watchdog(Some(3));
+        m.m.register_in_flight(CellId(1));
+        m.m.register_in_flight(CellId(2));
+        m.deliver(cell(2, 1, 0, 0), 0);
+        assert_eq!(m.emit(0), None); // stall slot 1
+        assert_eq!(m.emit(1), None); // stall slot 2
+        assert_eq!(m.emit(2), Some(CellId(2))); // fires and emits
+        assert_eq!(m.m.stalled_slots(), 2);
+        assert_eq!(m.m.skipped(), 1);
     }
 }

@@ -8,14 +8,17 @@
 //! greedy FIFO per destination queue, which the paper's Lemma 4 explicitly
 //! allows to be *optimal*: the lower bounds do not depend on plane
 //! scheduling, only on the line-rate bottleneck.
+//!
+//! Queues hold bare [`CellId`]s; the metadata lives in the fabric's
+//! [`CellPool`], so a plane hop moves one word, not a whole `Cell`.
 
 use pps_core::prelude::*;
 
 /// One center-stage plane: per-output FIFO buffers plus carry statistics.
 #[derive(Clone, Debug)]
 pub struct Plane {
-    /// Per-destination FIFO queues.
-    queues: Vec<FifoQueue<Cell>>,
+    /// Per-destination FIFO queues of cell ids.
+    queues: Vec<FifoQueue<CellId>>,
     /// Cells ever accepted by this plane.
     carried: u64,
     /// Whether the plane has failed (fault-injection experiments): a failed
@@ -33,19 +36,19 @@ impl Plane {
         }
     }
 
-    /// Accept a cell for its destination queue. Returns `false` if the
-    /// plane has failed and the cell was lost.
-    pub fn accept(&mut self, cell: Cell) -> bool {
+    /// Accept cell `id` for destination queue `output`. Returns `false` if
+    /// the plane has failed and the cell was lost.
+    pub fn accept(&mut self, id: CellId, output: usize) -> bool {
         if self.failed {
             return false;
         }
-        self.queues[cell.output.idx()].push(cell);
+        self.queues[output].push(id);
         self.carried += 1;
         true
     }
 
     /// Pop the head cell queued for `output`.
-    pub fn pop_for(&mut self, output: usize) -> Option<Cell> {
+    pub fn pop_for(&mut self, output: usize) -> Option<CellId> {
         self.queues[output].pop()
     }
 
@@ -83,12 +86,12 @@ impl Plane {
     /// Cells already queued inside the plane are lost with it — they are
     /// drained and returned so the fabric can account for them (live
     /// counters, straggler registrations, drop statistics).
-    pub fn fail(&mut self) -> Vec<Cell> {
+    pub fn fail(&mut self) -> Vec<CellId> {
         self.failed = true;
         let mut flushed = Vec::new();
         for q in &mut self.queues {
-            while let Some(cell) = q.pop() {
-                flushed.push(cell);
+            while let Some(id) = q.pop() {
+                flushed.push(id);
             }
         }
         flushed
@@ -110,25 +113,15 @@ impl Plane {
 mod tests {
     use super::*;
 
-    fn cell(id: u64, output: u32) -> Cell {
-        Cell {
-            id: CellId(id),
-            input: PortId(0),
-            output: PortId(output),
-            seq: 0,
-            arrival: 0,
-        }
-    }
-
     #[test]
     fn per_output_fifo() {
         let mut p = Plane::new(2);
-        assert!(p.accept(cell(0, 1)));
-        assert!(p.accept(cell(1, 0)));
-        assert!(p.accept(cell(2, 1)));
+        assert!(p.accept(CellId(0), 1));
+        assert!(p.accept(CellId(1), 0));
+        assert!(p.accept(CellId(2), 1));
         assert_eq!(p.queue_len(1), 2);
-        assert_eq!(p.pop_for(1).unwrap().id, CellId(0));
-        assert_eq!(p.pop_for(1).unwrap().id, CellId(2));
+        assert_eq!(p.pop_for(1), Some(CellId(0)));
+        assert_eq!(p.pop_for(1), Some(CellId(2)));
         assert_eq!(p.pop_for(1), None);
         assert_eq!(p.backlog(), 1);
         assert_eq!(p.carried(), 3);
@@ -138,7 +131,7 @@ mod tests {
     fn failed_plane_black_holes() {
         let mut p = Plane::new(1);
         assert!(p.fail().is_empty());
-        assert!(!p.accept(cell(0, 0)));
+        assert!(!p.accept(CellId(0), 0));
         assert!(p.is_empty());
         assert_eq!(p.carried(), 0);
     }
@@ -146,15 +139,15 @@ mod tests {
     #[test]
     fn failure_flushes_queued_cells_and_recovery_restarts_empty() {
         let mut p = Plane::new(2);
-        assert!(p.accept(cell(0, 0)));
-        assert!(p.accept(cell(1, 1)));
+        assert!(p.accept(CellId(0), 0));
+        assert!(p.accept(CellId(1), 1));
         let flushed = p.fail();
         assert_eq!(flushed.len(), 2);
         assert!(p.is_empty());
         assert!(p.is_failed());
         p.recover();
         assert!(!p.is_failed());
-        assert!(p.accept(cell(2, 0)));
+        assert!(p.accept(CellId(2), 0));
         assert_eq!(p.queue_len(0), 1);
     }
 
@@ -162,7 +155,7 @@ mod tests {
     fn occupancy_high_water_mark() {
         let mut p = Plane::new(1);
         for i in 0..4 {
-            p.accept(cell(i, 0));
+            p.accept(CellId(i), 0);
         }
         p.pop_for(0);
         p.pop_for(0);

@@ -14,7 +14,10 @@ use pps_core::prelude::*;
 #[derive(Clone, Debug)]
 pub struct ShadowOq {
     n: usize,
-    queues: Vec<FifoQueue<Cell>>,
+    /// Per-output FIFO queues of bare cell ids — departures only need the
+    /// id (the `RunLog` keyed by it holds the metadata), so the queues
+    /// never park whole `Cell` values.
+    queues: Vec<FifoQueue<CellId>>,
 }
 
 impl ShadowOq {
@@ -50,21 +53,21 @@ impl ShadowOq {
                     },
                 );
             }
-            self.queues[cell.output.idx()].push(*cell);
+            self.queues[cell.output.idx()].push(cell.id);
         }
         for (j, q) in self.queues.iter_mut().enumerate() {
-            if let Some(cell) = q.pop() {
+            if let Some(id) = q.pop() {
                 if telemetry::on() {
                     telemetry::record(
                         Engine::ShadowOq,
                         now,
                         EventKind::Depart {
-                            cell: cell.id,
+                            cell: id,
                             output: PortId(j as u32),
                         },
                     );
                 }
-                log.set_departure(cell.id, now);
+                log.set_departure(id, now);
             }
         }
     }

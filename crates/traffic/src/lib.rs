@@ -26,5 +26,7 @@ pub mod gen;
 pub mod leaky_bucket;
 pub mod stats;
 
-pub use leaky_bucket::{is_leaky_bucket, min_burstiness, shape, BurstinessReport};
+pub use leaky_bucket::{
+    is_leaky_bucket, min_burstiness, shape, BurstinessReport, IncrementalBurstiness,
+};
 pub use stats::TraceStats;
