@@ -1,0 +1,453 @@
+//! Randomized case generation.
+//!
+//! A [`ChaosCase`] is the complete, self-describing recipe for one fuzzing
+//! run: switch geometry, first-stage buffering, output discipline,
+//! demultiplexor choice, traffic generator, and fault schedule. Everything
+//! is derived from `(master_seed, index)` through a fixed draw order, so a
+//! case can always be regenerated from the two numbers printed in the
+//! report — the repro story depends on it.
+
+use pps_core::fault::FaultPlan;
+use pps_core::time::Slot;
+use pps_core::{BufferSpec, OutputDiscipline, PpsConfig, Trace};
+use pps_traffic::gen::{BernoulliGen, OnOffGen, TrafficPattern};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which demultiplexor the case drives the PPS with.
+///
+/// The chaos runner needs a concrete engine type, so the zoo is captured
+/// as an enum (the engine's demux parameter is a generic, not a trait
+/// object) and materialized by [`crate::fuzz_demux::FuzzDemux::build`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DemuxChoice {
+    /// Plain per-input round-robin (fully distributed).
+    RoundRobin,
+    /// Per-flow round-robin (fully distributed).
+    PerFlowRoundRobin,
+    /// Uniform random over free planes, seeded per case.
+    Random,
+    /// Least-loaded according to the input's local estimate.
+    LeastLoadedLocal,
+    /// Flow-hash static assignment with overflow to next free.
+    HashFlow,
+    /// Fault-aware round-robin on the centralized information class.
+    FaultAwareCentralized,
+    /// Fault-aware round-robin on `u`-RT information (the `u` field).
+    FaultAwareUrt(Slot),
+    /// Buffered round-robin — the only choice for buffered cases.
+    BufferedRoundRobin,
+}
+
+impl DemuxChoice {
+    /// Short name used in report lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            DemuxChoice::RoundRobin => "rr",
+            DemuxChoice::PerFlowRoundRobin => "pf-rr",
+            DemuxChoice::Random => "random",
+            DemuxChoice::LeastLoadedLocal => "ll-local",
+            DemuxChoice::HashFlow => "hash",
+            DemuxChoice::FaultAwareCentralized => "fa-rr-c",
+            DemuxChoice::FaultAwareUrt(_) => "fa-rr-u",
+            DemuxChoice::BufferedRoundRobin => "buf-rr",
+        }
+    }
+
+    /// The information delay the down-plane-dispatch oracle should assume,
+    /// or `None` when the demux is fault-blind and the check must stay off.
+    pub fn info_delay(self) -> Option<Slot> {
+        match self {
+            DemuxChoice::FaultAwareCentralized => Some(0),
+            DemuxChoice::FaultAwareUrt(u) => Some(u),
+            _ => None,
+        }
+    }
+}
+
+/// Which traffic generator feeds the case.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrafficChoice {
+    /// i.i.d. Bernoulli arrivals.
+    Bernoulli {
+        /// Destination pattern.
+        pattern: TrafficPattern,
+    },
+    /// Bursty on/off arrivals (destination re-drawn per burst).
+    OnOff {
+        /// Mean ON-burst length, in tenths of a cell (fixed-point so the
+        /// case stays `Eq`-comparable and reproducible).
+        mean_burst_tenths: u32,
+        /// Destination pattern.
+        pattern: TrafficPattern,
+    },
+}
+
+impl TrafficChoice {
+    /// Short name used in report lines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrafficChoice::Bernoulli { .. } => "bern",
+            TrafficChoice::OnOff { .. } => "onoff",
+        }
+    }
+
+    fn pattern(&self) -> &TrafficPattern {
+        match self {
+            TrafficChoice::Bernoulli { pattern } => pattern,
+            TrafficChoice::OnOff { pattern, .. } => pattern,
+        }
+    }
+
+    /// Pattern name for report lines.
+    pub fn pattern_name(&self) -> &'static str {
+        match self.pattern() {
+            TrafficPattern::Uniform => "uniform",
+            TrafficPattern::Hotspot { .. } => "hotspot",
+            TrafficPattern::Permutation(_) => "rotation",
+            TrafficPattern::Diagonal => "diagonal",
+        }
+    }
+}
+
+/// One fully specified fuzzing case.
+#[derive(Clone, Debug)]
+pub struct ChaosCase {
+    /// Case index within the run (also the report ordering key).
+    pub index: usize,
+    /// Per-case RNG seed, derived from the master seed and the index.
+    pub seed: u64,
+    /// Ports (`N`).
+    pub n: usize,
+    /// Planes (`K`).
+    pub k: usize,
+    /// Internal slowdown (`r'`).
+    pub r_prime: usize,
+    /// Per-input buffer capacity; 0 means bufferless.
+    pub buffer: usize,
+    /// Output-stage discipline.
+    pub discipline: OutputDiscipline,
+    /// Resequencer watchdog timeout, if armed.
+    pub watchdog: Option<Slot>,
+    /// Demultiplexor under test.
+    pub demux: DemuxChoice,
+    /// Traffic generator.
+    pub traffic: TrafficChoice,
+    /// Offered load per input, in thousandths (fixed-point).
+    pub load_millis: u32,
+    /// Arrival horizon in slots (the `--budget-slots` knob).
+    pub horizon: Slot,
+    /// Fault schedule applied to the PPS engine.
+    pub plan: FaultPlan,
+    /// When set by the shrinker, arrivals after this slot are removed
+    /// from the (otherwise identical) generated trace.
+    pub truncate_at: Option<Slot>,
+}
+
+/// Derive the RNG seed of case `index` under `master` — a SplitMix64-style
+/// mix so neighbouring indices land far apart in seed space.
+pub fn case_seed(master: u64, index: usize) -> u64 {
+    let mut z = master ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ChaosCase {
+    /// Generate case `index` of a run with `master` seed and the given
+    /// arrival horizon. The draw order below is part of the repro format:
+    /// changing it invalidates every recorded `(seed, index)` pair.
+    pub fn generate(master: u64, index: usize, horizon: Slot) -> ChaosCase {
+        let seed = case_seed(master, index);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // 1. Geometry. K >= r' keeps the bufferless engine's "some line is
+        //    free" guarantee in the fault-free case.
+        let n = *pick(&mut rng, &[4usize, 8, 16]);
+        let r_prime = *pick(&mut rng, &[2usize, 3]);
+        let k = r_prime * rng.random_range(1..=3usize);
+
+        // 2. First stage: mostly bufferless (the paper's base model); a
+        //    quarter of cases exercise the buffered engine with a capacity
+        //    generous enough that admissible traffic cannot overflow it.
+        let buffered = rng.random_range(0..4u32) == 0;
+        let buffer = if buffered { horizon as usize + 8 } else { 0 };
+
+        // 3. Output discipline + watchdog.
+        let discipline = if rng.random_range(0..10u32) < 7 {
+            OutputDiscipline::FlowFifo
+        } else {
+            OutputDiscipline::GlobalFcfs
+        };
+
+        // 4. Fault schedule: two thirds of cases inject faults.
+        let fault_count = if rng.random_range(0..3u32) < 2 {
+            rng.random_range(1..=10usize)
+        } else {
+            0
+        };
+        let plan = random_plan(&mut rng, fault_count, k, n, r_prime, horizon);
+
+        // A lost cell head-of-line-blocks FlowFifo/GlobalFcfs forever, so
+        // faulted cases almost always arm the watchdog; a sliver keeps it
+        // off to fuzz the stall path too.
+        let watchdog = if !plan.is_empty() && rng.random_range(0..10u32) < 9 {
+            Some(rng.random_range((2 * r_prime as Slot)..=(4 * r_prime as Slot + 8)))
+        } else {
+            None
+        };
+
+        // 5. Demultiplexor. Buffered cases use the buffered round-robin;
+        //    faulted bufferless cases prefer (but are not limited to) the
+        //    fault-aware algorithms.
+        let demux = if buffered {
+            DemuxChoice::BufferedRoundRobin
+        } else if !plan.is_empty() && rng.random_range(0..10u32) < 7 {
+            if rng.random_bool(0.5) {
+                DemuxChoice::FaultAwareCentralized
+            } else {
+                DemuxChoice::FaultAwareUrt(rng.random_range(1..=8u64))
+            }
+        } else {
+            match rng.random_range(0..5u32) {
+                0 => DemuxChoice::RoundRobin,
+                1 => DemuxChoice::PerFlowRoundRobin,
+                2 => DemuxChoice::Random,
+                3 => DemuxChoice::LeastLoadedLocal,
+                _ => DemuxChoice::HashFlow,
+            }
+        };
+
+        // 6. Traffic: load in [0.30, 0.95], bursty 40% of the time.
+        let load_millis = rng.random_range(300..=950u32);
+        let pattern = match rng.random_range(0..100u32) {
+            0..=39 => TrafficPattern::Uniform,
+            40..=64 => {
+                // The hot output's aggregate load is n·ρ·hot + ρ·(1−hot);
+                // keeping it ≤ 0.95 (admissibility) caps hot at
+                // (0.95 − ρ) / (ρ·(n−1)). When the cap leaves no room,
+                // fall back to uniform destinations.
+                let cap = (1000u64 * u64::from(950u32.saturating_sub(load_millis))
+                    / (u64::from(load_millis) * (n as u64 - 1))) as u32;
+                if cap >= 100 {
+                    TrafficPattern::Hotspot {
+                        target: rng.random_range(0..n as u32),
+                        hot: f64::from(rng.random_range(100..=cap.min(900))) / 1000.0,
+                    }
+                } else {
+                    TrafficPattern::Uniform
+                }
+            }
+            65..=84 => TrafficPattern::rotation(n, rng.random_range(1..n)),
+            _ => TrafficPattern::Diagonal,
+        };
+        let traffic = if rng.random_range(0..10u32) < 4 {
+            TrafficChoice::OnOff {
+                mean_burst_tenths: rng.random_range(15..=80u32),
+                pattern,
+            }
+        } else {
+            TrafficChoice::Bernoulli { pattern }
+        };
+
+        ChaosCase {
+            index,
+            seed,
+            n,
+            k,
+            r_prime,
+            buffer,
+            discipline,
+            watchdog,
+            demux,
+            traffic,
+            load_millis,
+            horizon,
+            plan,
+            truncate_at: None,
+        }
+    }
+
+    /// The engine configuration this case describes.
+    pub fn config(&self) -> PpsConfig {
+        PpsConfig {
+            n: self.n,
+            k: self.k,
+            r_prime: self.r_prime,
+            buffer: if self.buffer == 0 {
+                BufferSpec::Bufferless
+            } else {
+                BufferSpec::Buffered { size: self.buffer }
+            },
+            discipline: self.discipline,
+            watchdog: self.watchdog,
+        }
+    }
+
+    /// Generate the case's arrival trace. The trace is always generated at
+    /// the full horizon and then cut at [`ChaosCase::truncate_at`], so a
+    /// truncated case sees an exact prefix of the original arrivals — the
+    /// property the shrinker relies on.
+    pub fn trace(&self) -> Trace {
+        let load = f64::from(self.load_millis) / 1000.0;
+        let full = match &self.traffic {
+            TrafficChoice::Bernoulli { pattern } => BernoulliGen {
+                load,
+                pattern: pattern.clone(),
+                seed: self.seed ^ 0xA5A5_5A5A_0F0F_F0F0,
+            }
+            .trace(self.n, self.horizon),
+            TrafficChoice::OnOff {
+                mean_burst_tenths,
+                pattern,
+            } => OnOffGen {
+                mean_burst: f64::from(*mean_burst_tenths) / 10.0,
+                load,
+                pattern: pattern.clone(),
+                seed: self.seed ^ 0xA5A5_5A5A_0F0F_F0F0,
+            }
+            .trace(self.n, self.horizon),
+        };
+        match self.truncate_at {
+            None => full,
+            Some(t) => {
+                let kept: Vec<_> = full
+                    .arrivals()
+                    .iter()
+                    .copied()
+                    .filter(|a| a.slot <= t)
+                    .collect();
+                Trace::build(kept, self.n).expect("prefix of a valid trace is valid")
+            }
+        }
+    }
+
+    /// Whether the paper's relative-delay envelope is a sound oracle for
+    /// this case: the bound is proved for fault-free bufferless runs with
+    /// an order-preserving discipline and no watchdog skips, and the chaos
+    /// harness additionally restricts it to the deterministic spreading
+    /// demuxes (random/hash placement can concentrate a flow arbitrarily).
+    pub fn relative_delay_eligible(&self) -> bool {
+        self.buffer == 0
+            && self.plan.is_empty()
+            && self.watchdog.is_none()
+            && self.discipline == OutputDiscipline::FlowFifo
+            && matches!(
+                self.demux,
+                DemuxChoice::RoundRobin | DemuxChoice::PerFlowRoundRobin
+            )
+    }
+}
+
+fn pick<'a, T>(rng: &mut StdRng, options: &'a [T]) -> &'a T {
+    &options[rng.random_range(0..options.len())]
+}
+
+/// Draw `count` random fault events against a `k`-plane switch.
+///
+/// Downs always outnumber what recovery can mask: planes are drawn from
+/// the full range, so Down/Up pairs, double-downs and ups without a prior
+/// down all occur — the engine treats those as no-ops, and the oracles
+/// must too. At least one plane is always left standing by construction
+/// (`fail_plane` on the last live plane is the engine's problem to refuse,
+/// not ours to avoid — but a plan that downs all `k` planes at once makes
+/// every arrival droppable and the run degenerate, so the drawer caps
+/// simultaneous downs at `k - 1`).
+fn random_plan(
+    rng: &mut StdRng,
+    count: usize,
+    k: usize,
+    n: usize,
+    r_prime: usize,
+    horizon: Slot,
+) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    let mut down = vec![false; k];
+    for _ in 0..count {
+        let at = rng.random_range(1..horizon.max(2));
+        match rng.random_range(0..100u32) {
+            0..=44 => {
+                let plane = rng.random_range(0..k as u32);
+                if down.iter().filter(|d| **d).count() < k - 1 || down[plane as usize] {
+                    down[plane as usize] = true;
+                    plan = plan.plane_down(plane, at);
+                }
+            }
+            45..=74 => {
+                let plane = rng.random_range(0..k as u32);
+                down[plane as usize] = false;
+                plan = plan.plane_up(plane, at);
+            }
+            _ => {
+                let input = rng.random_range(0..n as u32);
+                let plane = rng.random_range(0..k as u32);
+                let until = at + rng.random_range(1..=(3 * r_prime as Slot));
+                plan = plan.link_degraded(input, plane, at, until);
+            }
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ChaosCase::generate(42, 7, 256);
+        let b = ChaosCase::generate(42, 7, 256);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.n, b.n);
+        assert_eq!(a.demux, b.demux);
+        assert_eq!(a.plan.events(), b.plan.events());
+        assert_eq!(a.trace().arrivals(), b.trace().arrivals());
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let a = ChaosCase::generate(42, 0, 256);
+        let b = ChaosCase::generate(42, 1, 256);
+        assert_ne!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn truncation_is_an_exact_prefix() {
+        let mut case = ChaosCase::generate(42, 3, 256);
+        let full = case.trace();
+        case.truncate_at = Some(100);
+        let cut = case.trace();
+        let expect: Vec<_> = full
+            .arrivals()
+            .iter()
+            .copied()
+            .filter(|a| a.slot <= 100)
+            .collect();
+        assert_eq!(cut.arrivals(), expect.as_slice());
+    }
+
+    #[test]
+    fn generated_plans_validate() {
+        for i in 0..64 {
+            let case = ChaosCase::generate(7, i, 128);
+            case.plan
+                .validate(&case.config())
+                .unwrap_or_else(|e| panic!("case {i}: {e}"));
+        }
+    }
+
+    #[test]
+    fn hotspot_loads_stay_admissible() {
+        for i in 0..256 {
+            let case = ChaosCase::generate(1234, i, 128);
+            if let TrafficPattern::Hotspot { hot, .. } = match &case.traffic {
+                TrafficChoice::Bernoulli { pattern } => pattern.clone(),
+                TrafficChoice::OnOff { pattern, .. } => pattern.clone(),
+            } {
+                let rho = f64::from(case.load_millis) / 1000.0;
+                let aggregate = case.n as f64 * rho * hot + rho * (1.0 - hot);
+                assert!(aggregate <= 0.96, "case {i}: hot output oversubscribed");
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Enum wrapper over the demultiplexor zoo.
+//!
+//! The PPS engines are generic over their demultiplexor (`Demultiplexor`
+//! is not object-safe for the engine's purposes — it carries a `Send`
+//! bound and the engine stores it by value), so the fuzzer, which picks
+//! the algorithm at runtime, needs one concrete type covering the whole
+//! zoo. [`FuzzDemux`] is that type: a plain enum forwarding every trait
+//! method to the wrapped algorithm.
+
+use crate::case::DemuxChoice;
+use pps_core::demux::{Demultiplexor, DispatchCtx, InfoClass};
+use pps_core::{Cell, GlobalSnapshot, PlaneId, Slot};
+use pps_switch::demux::{
+    FaultAwareRoundRobinDemux, HashFlowDemux, LeastLoadedLocalDemux, PerFlowRoundRobinDemux,
+    RandomDemux, RoundRobinDemux,
+};
+
+/// One concrete type spanning the bufferless demux zoo.
+#[allow(missing_docs)]
+pub enum FuzzDemux {
+    RoundRobin(RoundRobinDemux),
+    PerFlowRoundRobin(PerFlowRoundRobinDemux),
+    Random(RandomDemux),
+    LeastLoadedLocal(LeastLoadedLocalDemux),
+    HashFlow(HashFlowDemux),
+    FaultAware(FaultAwareRoundRobinDemux),
+}
+
+impl FuzzDemux {
+    /// Materialize the algorithm a [`DemuxChoice`] names.
+    ///
+    /// Panics on [`DemuxChoice::BufferedRoundRobin`]: buffered cases build
+    /// their demux directly, the bufferless engine never sees the variant.
+    pub fn build(choice: DemuxChoice, n: usize, k: usize, r_prime: usize, seed: u64) -> FuzzDemux {
+        match choice {
+            DemuxChoice::RoundRobin => FuzzDemux::RoundRobin(RoundRobinDemux::new(n, k)),
+            DemuxChoice::PerFlowRoundRobin => {
+                FuzzDemux::PerFlowRoundRobin(PerFlowRoundRobinDemux::new(n, k))
+            }
+            DemuxChoice::Random => FuzzDemux::Random(RandomDemux::new(n, seed)),
+            DemuxChoice::LeastLoadedLocal => {
+                FuzzDemux::LeastLoadedLocal(LeastLoadedLocalDemux::new(n, k, r_prime))
+            }
+            DemuxChoice::HashFlow => FuzzDemux::HashFlow(HashFlowDemux::new(n, k)),
+            DemuxChoice::FaultAwareCentralized => {
+                FuzzDemux::FaultAware(FaultAwareRoundRobinDemux::centralized(n, k))
+            }
+            DemuxChoice::FaultAwareUrt(u) => {
+                FuzzDemux::FaultAware(FaultAwareRoundRobinDemux::urt(n, k, u))
+            }
+            DemuxChoice::BufferedRoundRobin => {
+                panic!("buffered choice has no bufferless materialization")
+            }
+        }
+    }
+
+    fn inner(&self) -> &dyn Demultiplexor {
+        match self {
+            FuzzDemux::RoundRobin(d) => d,
+            FuzzDemux::PerFlowRoundRobin(d) => d,
+            FuzzDemux::Random(d) => d,
+            FuzzDemux::LeastLoadedLocal(d) => d,
+            FuzzDemux::HashFlow(d) => d,
+            FuzzDemux::FaultAware(d) => d,
+        }
+    }
+
+    fn inner_mut(&mut self) -> &mut dyn Demultiplexor {
+        match self {
+            FuzzDemux::RoundRobin(d) => d,
+            FuzzDemux::PerFlowRoundRobin(d) => d,
+            FuzzDemux::Random(d) => d,
+            FuzzDemux::LeastLoadedLocal(d) => d,
+            FuzzDemux::HashFlow(d) => d,
+            FuzzDemux::FaultAware(d) => d,
+        }
+    }
+}
+
+impl Demultiplexor for FuzzDemux {
+    fn info_class(&self) -> InfoClass {
+        self.inner().info_class()
+    }
+
+    fn dispatch(&mut self, cell: &Cell, ctx: &DispatchCtx<'_>) -> PlaneId {
+        self.inner_mut().dispatch(cell, ctx)
+    }
+
+    fn on_slot(&mut self, now: Slot, global: Option<&GlobalSnapshot>) {
+        self.inner_mut().on_slot(now, global);
+    }
+
+    fn reset(&mut self) {
+        self.inner_mut().reset();
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner().name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_covers_the_zoo() {
+        let choices = [
+            DemuxChoice::RoundRobin,
+            DemuxChoice::PerFlowRoundRobin,
+            DemuxChoice::Random,
+            DemuxChoice::LeastLoadedLocal,
+            DemuxChoice::HashFlow,
+            DemuxChoice::FaultAwareCentralized,
+            DemuxChoice::FaultAwareUrt(4),
+        ];
+        for c in choices {
+            let d = FuzzDemux::build(c, 4, 4, 2, 99);
+            assert!(!d.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # pps-chaos — randomized fault/traffic fuzzing with invariant oracles
+//!
+//! The experiment suite checks that each engine reproduces the paper's
+//! bounds on *chosen* workloads; this crate checks that the engines stay
+//! *internally coherent* on workloads nobody chose. A seed-driven fuzzer
+//! composes random admissible traffic (Bernoulli or bursty on/off under a
+//! leaky-bucket cap, uniform/hotspot/permutation/diagonal destinations)
+//! with random fault schedules (plane failures and recoveries, link
+//! degradation windows) and random switch geometry, then drives the PPS
+//! under test alongside the shadow OQ, the iSLIP crossbar and the CIOQ
+//! switch in lockstep, with every runtime invariant oracle armed:
+//!
+//! * **cell conservation** — arrivals = departures + backlog + drops,
+//!   reconciled every slot against the cell pool ([`pps_core::oracle`]);
+//! * **per-flow FIFO** and **causality** on every engine's run log;
+//! * **no phantom / double / pre-arrival departures**, **output-line
+//!   constraint**, **no dispatch to a visibly-down plane**, and
+//!   **watchdog counter consistency** — folded over the telemetry event
+//!   stream ([`pps_telemetry::oracle`]);
+//! * the paper's **relative-delay envelope** vs the shadow OQ, on the
+//!   cases where it is a theorem (fault-free, bufferless, deterministic
+//!   spreading).
+//!
+//! On a violation the harness shrinks: ddmin over the fault events, then
+//! horizon truncation, preserving the failure kind — and emits a
+//! minimized repro (reduced plan CSV, replay command, trace tail of the
+//! failing slots). `ppslab chaos --seed <s> --cases <n>` is the driver
+//! face; reports are byte-identical at any `--jobs` because cases fan out
+//! over [`pps_core::sweep::SweepPlan`] and merge in declared order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod case;
+pub mod cli;
+pub mod fuzz_demux;
+pub mod report;
+pub mod runner;
+pub mod shrink;
+
+pub use case::{case_seed, ChaosCase, DemuxChoice, TrafficChoice};
+pub use cli::{run_chaos, ChaosError, ChaosOptions, ChaosReport};
+pub use runner::{run_case, CaseOutcome, FailureKind, RunOpts};
+pub use shrink::{shrink, ShrinkResult};

@@ -1,0 +1,422 @@
+//! Lockstep four-engine execution of one chaos case.
+//!
+//! Every case drives the PPS under test, the shadow output-queued switch,
+//! the iSLIP crossbar and the CIOQ switch through the *same* arrival
+//! stream slot by slot. The PPS-side conservation ledger and the cell-pool
+//! reconciliation run every slot (so a violation is caught at the slot it
+//! happens, not at the end); the event-stream, flow-order, causality and
+//! relative-delay oracles fold over the run once it finishes.
+//!
+//! Record at [`telemetry::Level::Full`] when running cases — the stream
+//! oracles fold over the telemetry event log and see nothing otherwise
+//! (the chaos CLI forces the level; library callers must do the same).
+
+use crate::case::ChaosCase;
+use crate::fuzz_demux::FuzzDemux;
+use pps_core::oracle::{self, ConservationLedger, OracleKind, OracleViolation};
+use pps_core::telemetry::{self, Event};
+use pps_core::{Cell, ModelError, RunLog, Slot};
+use pps_crossbar::{CioqSwitch, CrossbarSwitch};
+use pps_reference::ShadowOq;
+use pps_switch::demux::BufferedRoundRobinDemux;
+use pps_switch::{BufferedPps, BufferlessPps, Fabric};
+use pps_telemetry::{check_stream, StreamOracleConfig};
+use pps_traffic::min_burstiness;
+use std::sync::Arc;
+
+/// iSLIP iterations / CIOQ speedup for the comparison engines.
+const CROSSBAR_ITERATIONS: usize = 2;
+const CIOQ_SPEEDUP: usize = 2;
+
+/// Break the drain loop after this many slots without a single departure
+/// or pending arrival anywhere — the signature of a watchdog-less PPS
+/// stalled on a cell lost to a failed plane (a legal outcome, not a
+/// violation: the backlog stays accounted for).
+const STALL_WINDOW: Slot = 1024;
+
+/// Knobs of one [`run_case`] invocation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunOpts {
+    /// Keep the telemetry event stream in the outcome even when no oracle
+    /// fires (the repro writer wants it; bulk fuzzing does not).
+    pub keep_events: bool,
+    /// Arm the test-only conservation-leak hook this many times before
+    /// the run (each armed leak swallows one cell of a plane-failure
+    /// flush without accounting for it). Used to prove the harness
+    /// catches and shrinks a real conservation bug; 0 in normal runs.
+    pub inject_leak: u32,
+}
+
+/// How a failed case failed — the signature the shrinker preserves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// An invariant oracle fired.
+    Oracle(OracleKind),
+    /// The engine itself rejected the run (constraint violation, overflow).
+    EngineError,
+}
+
+/// Everything one case run produces.
+#[derive(Debug)]
+pub struct CaseOutcome {
+    /// Cells offered by the trace.
+    pub cells: usize,
+    /// Cells the PPS delivered.
+    pub delivered: u64,
+    /// Cells dropped at dispatch or flushed by plane failures.
+    pub dropped: u64,
+    /// Cells the resequencer watchdog skipped past.
+    pub skipped: u64,
+    /// Cells arriving after the watchdog gave up on them.
+    pub late_dropped: u64,
+    /// Last executed slot.
+    pub end_slot: Slot,
+    /// All oracle violations, sorted by (slot, kind, detail).
+    pub violations: Vec<OracleViolation>,
+    /// Fatal engine error, if the PPS rejected the run mid-flight.
+    pub engine_error: Option<(Slot, String)>,
+    /// The recorded event stream (kept on failure or on request).
+    pub events: Option<Vec<Event>>,
+}
+
+impl CaseOutcome {
+    /// Did any oracle or the engine itself object?
+    pub fn failed(&self) -> bool {
+        self.engine_error.is_some() || !self.violations.is_empty()
+    }
+
+    /// The failure signature: the earliest violation's kind, or
+    /// [`FailureKind::EngineError`] if the engine died first.
+    pub fn failure_kind(&self) -> Option<FailureKind> {
+        match (&self.engine_error, self.violations.first()) {
+            (Some((err_slot, _)), Some(v)) if v.slot <= *err_slot => {
+                Some(FailureKind::Oracle(v.kind))
+            }
+            (Some(_), _) => Some(FailureKind::EngineError),
+            (None, Some(v)) => Some(FailureKind::Oracle(v.kind)),
+            (None, None) => None,
+        }
+    }
+
+    /// Slot of the first failure (violation or engine error).
+    pub fn failure_slot(&self) -> Option<Slot> {
+        let v = self.violations.first().map(|v| v.slot);
+        let e = self.engine_error.as_ref().map(|(s, _)| *s);
+        match (v, e) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// The two engine shapes a case can materialize.
+enum EngineUnderTest {
+    Bufferless(BufferlessPps<FuzzDemux>),
+    Buffered(BufferedPps<BufferedRoundRobinDemux>),
+}
+
+impl EngineUnderTest {
+    fn build(case: &ChaosCase) -> Result<Self, ModelError> {
+        let cfg = case.config();
+        let plan = Arc::new(case.plan.clone());
+        if case.buffer == 0 {
+            let demux = FuzzDemux::build(case.demux, case.n, case.k, case.r_prime, case.seed);
+            let mut e = BufferlessPps::new(cfg, demux)?;
+            e.set_fault_plan_shared(plan)?;
+            Ok(EngineUnderTest::Bufferless(e))
+        } else {
+            let demux = BufferedRoundRobinDemux::new(case.n, case.k);
+            let mut e = BufferedPps::new(cfg, demux)?;
+            e.set_fault_plan_shared(plan)?;
+            Ok(EngineUnderTest::Buffered(e))
+        }
+    }
+
+    fn slot(&mut self, now: Slot, arrivals: &[Cell], log: &mut RunLog) -> Result<(), ModelError> {
+        match self {
+            EngineUnderTest::Bufferless(e) => e.slot(now, arrivals, log),
+            EngineUnderTest::Buffered(e) => e.slot(now, arrivals, log),
+        }
+    }
+
+    fn backlog(&self) -> usize {
+        match self {
+            EngineUnderTest::Bufferless(e) => e.backlog(),
+            EngineUnderTest::Buffered(e) => e.backlog(),
+        }
+    }
+
+    fn fabric(&self) -> &Fabric {
+        match self {
+            EngineUnderTest::Bufferless(e) => e.fabric(),
+            EngineUnderTest::Buffered(e) => e.fabric(),
+        }
+    }
+
+    fn inject_conservation_leak(&mut self) {
+        match self {
+            EngineUnderTest::Bufferless(e) => e.inject_conservation_leak(),
+            EngineUnderTest::Buffered(e) => e.inject_conservation_leak(),
+        }
+    }
+}
+
+/// Run one case through all four engines and every oracle.
+pub fn run_case(case: &ChaosCase, opts: RunOpts) -> CaseOutcome {
+    let trace = case.trace();
+    let cells = trace.cells(case.n);
+
+    let ((mut outcome, pps_log, oq_log), log) =
+        telemetry::collect(format!("chaos/{}", case.index), || {
+            lockstep(case, opts, &cells)
+        });
+
+    // Fold the stream oracles over everything the run recorded. A single
+    // scope was active, so flatten() yields one chronological stream.
+    let events: Vec<Event> = log
+        .flatten()
+        .iter()
+        .flat_map(|(_, es)| es.iter().copied())
+        .collect();
+    let cfg = StreamOracleConfig {
+        n: case.n,
+        k: case.k,
+        r_prime: case.r_prime,
+        info_delay: case.demux.info_delay(),
+        plan: Some(&case.plan),
+        check_down_dispatch: case.demux.info_delay().is_some() && case.buffer == 0,
+        // With recording off there are no WatchdogDrop events to reconcile.
+        expected_skipped: if events.is_empty() {
+            None
+        } else {
+            Some(outcome.skipped)
+        },
+    };
+    outcome.violations.extend(check_stream(&events, &cfg));
+
+    // Per-flow order and causality on every engine's run log.
+    for log in [&pps_log, &oq_log] {
+        outcome.violations.extend(oracle::check_flow_order(log));
+        outcome.violations.extend(oracle::check_causality(log));
+    }
+
+    // Paper bound: relative delay vs the shadow OQ, for cases where the
+    // Section 3 envelope is actually a theorem (see the eligibility doc).
+    if case.relative_delay_eligible() {
+        let b = min_burstiness(&trace, case.n).overall();
+        let bound = (case.r_prime as u64) * (case.n as u64 + case.k as u64 + b) + 64;
+        outcome
+            .violations
+            .extend(oracle::check_relative_delay(&pps_log, &oq_log, bound));
+    }
+
+    outcome
+        .violations
+        .sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    if opts.keep_events || outcome.failed() {
+        outcome.events = Some(events);
+    }
+    outcome
+}
+
+/// The slot loop proper. Returns the outcome skeleton plus the PPS and OQ
+/// run logs (the crossbar/CIOQ logs are checked inside and dropped — only
+/// the PPS/OQ pair feeds the relative-delay oracle).
+fn lockstep(case: &ChaosCase, opts: RunOpts, cells: &[Cell]) -> (CaseOutcome, RunLog, RunLog) {
+    let mut outcome = CaseOutcome {
+        cells: cells.len(),
+        delivered: 0,
+        dropped: 0,
+        skipped: 0,
+        late_dropped: 0,
+        end_slot: 0,
+        violations: Vec::new(),
+        engine_error: None,
+        events: None,
+    };
+
+    let mut pps_log = RunLog::with_cells(cells);
+    let mut oq_log = RunLog::with_cells(cells);
+    let mut xbar_log = RunLog::with_cells(cells);
+    let mut cioq_log = RunLog::with_cells(cells);
+
+    let mut engine = match EngineUnderTest::build(case) {
+        Ok(e) => e,
+        Err(e) => {
+            outcome.engine_error = Some((0, e.to_string()));
+            return (outcome, pps_log, oq_log);
+        }
+    };
+    for _ in 0..opts.inject_leak {
+        engine.inject_conservation_leak();
+    }
+    let mut oq = ShadowOq::new(case.n);
+    let mut xbar = CrossbarSwitch::new(case.n, CROSSBAR_ITERATIONS);
+    let mut cioq = CioqSwitch::new(case.n, CIOQ_SPEEDUP);
+
+    // Hard ceiling on run length: arrivals plus a full serialized drain of
+    // every cell would still finish well inside this.
+    let cap = case.horizon
+        + (cells.len() as Slot + 1) * (case.r_prime as Slot + 1)
+        + case.plan.horizon()
+        + 512;
+
+    let mut now: Slot = 0;
+    let mut next = 0usize; // cursor into cells (sorted by arrival slot)
+    let mut arrivals_so_far = 0u64;
+    let mut last_progress: Slot = 0;
+    let mut last_other_backlog = 0usize;
+
+    loop {
+        let start = next;
+        while next < cells.len() && cells[next].arrival == now {
+            next += 1;
+        }
+        let scratch = &cells[start..next];
+        arrivals_so_far += scratch.len() as u64;
+
+        if let Err(e) = engine.slot(now, scratch, &mut pps_log) {
+            outcome.engine_error = Some((now, e.to_string()));
+            break;
+        }
+        oq.slot(now, scratch, &mut oq_log);
+        xbar.slot(now, scratch, &mut xbar_log);
+        cioq.slot(now, scratch, &mut cioq_log);
+
+        // Per-slot PPS-side oracles: the conservation ledger and the cell
+        // pool reconciliation. Stop at the first hit — everything after a
+        // broken ledger is noise, and the shrinker wants the earliest slot.
+        let stats = engine.fabric().stats();
+        let departed = engine.fabric().departed();
+        let ledger = ConservationLedger {
+            arrivals: arrivals_so_far,
+            departures: departed,
+            backlog: engine.backlog() as u64,
+            dropped: stats.dropped,
+            late_dropped: stats.late_dropped,
+        };
+        let pool_len = engine.fabric().pool().len() as u64;
+        if let Some(v) = ledger
+            .check(now)
+            .or_else(|| oracle::check_pool_occupancy(pool_len, arrivals_so_far, now))
+        {
+            outcome.violations.push(v);
+            break;
+        }
+
+        let other_backlog = oq.backlog() + xbar.backlog() + cioq.backlog();
+        if !scratch.is_empty() || departed > outcome.delivered || other_backlog < last_other_backlog
+        {
+            last_progress = now;
+        }
+        last_other_backlog = other_backlog;
+        outcome.delivered = departed;
+
+        let active = next < cells.len()
+            || engine.backlog() > 0
+            || oq.backlog() > 0
+            || xbar.backlog() > 0
+            || cioq.backlog() > 0;
+        if !active || now >= cap || now.saturating_sub(last_progress) > STALL_WINDOW {
+            break;
+        }
+        now += 1;
+    }
+
+    let stats = engine.fabric().stats();
+    outcome.delivered = engine.fabric().departed();
+    outcome.dropped = stats.dropped;
+    outcome.skipped = stats.skipped;
+    outcome.late_dropped = stats.late_dropped;
+    outcome.end_slot = now;
+
+    // End-of-run conservation for the fault-free comparison engines:
+    // whatever the log says was never delivered must still be queued.
+    // Only meaningful when the run fed every arrival and stopped on its
+    // own — a per-slot violation or engine error aborts mid-stream, and
+    // the leftover cells are the abort's doing, not the engines'.
+    let clean_stop =
+        outcome.engine_error.is_none() && outcome.violations.is_empty() && next == cells.len();
+    for (name, log, backlog) in [
+        ("shadow-oq", &oq_log, oq.backlog()),
+        ("crossbar", &xbar_log, xbar.backlog()),
+        ("cioq", &cioq_log, cioq.backlog()),
+    ] {
+        if !clean_stop {
+            break;
+        }
+        if log.undelivered() != backlog {
+            outcome.violations.push(OracleViolation {
+                kind: OracleKind::Conservation,
+                slot: now,
+                detail: format!(
+                    "{name}: {} cells unaccounted (log undelivered {} vs backlog {backlog})",
+                    log.undelivered().abs_diff(backlog),
+                    log.undelivered(),
+                ),
+            });
+        }
+    }
+    outcome
+        .violations
+        .extend(oracle::check_flow_order(&xbar_log));
+    outcome
+        .violations
+        .extend(oracle::check_causality(&xbar_log));
+    outcome
+        .violations
+        .extend(oracle::check_flow_order(&cioq_log));
+    outcome
+        .violations
+        .extend(oracle::check_causality(&cioq_log));
+
+    (outcome, pps_log, oq_log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::ChaosCase;
+
+    #[test]
+    fn clean_case_has_no_violations() {
+        let case = ChaosCase::generate(42, 0, 64);
+        let out = run_case(&case, RunOpts::default());
+        assert_eq!(out.engine_error, None);
+        assert!(
+            out.violations.is_empty(),
+            "unexpected violations: {:?}",
+            out.violations
+        );
+        assert!(out.cells > 0);
+    }
+
+    #[test]
+    fn injected_leak_trips_conservation() {
+        // The leak hook fires in the plane-failure flush path, so it needs
+        // a case whose downed plane holds cells at the failure slot — scan
+        // generated cases until one trips (the vast majority of PlaneDown
+        // cases under load do).
+        let tripped = (0..512)
+            .map(|i| ChaosCase::generate(7, i, 96))
+            .filter(|c| {
+                c.buffer == 0
+                    && c.plan
+                        .events()
+                        .iter()
+                        .any(|e| matches!(e, pps_core::FaultEvent::PlaneDown { .. }))
+            })
+            .take(16)
+            .any(|case| {
+                let out = run_case(
+                    &case,
+                    RunOpts {
+                        inject_leak: 1,
+                        ..RunOpts::default()
+                    },
+                );
+                out.failure_kind() == Some(FailureKind::Oracle(OracleKind::Conservation))
+            });
+        assert!(tripped, "no scanned case tripped the injected leak");
+    }
+}

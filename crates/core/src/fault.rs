@@ -377,6 +377,86 @@ mod tests {
     }
 
     #[test]
+    fn csv_round_trips_empty_plan() {
+        let plan = FaultPlan::new();
+        let mut buf = Vec::new();
+        write_csv(&plan, &mut buf).unwrap();
+        let parsed = read_csv(&buf[..]).unwrap();
+        assert_eq!(parsed, plan);
+        assert!(parsed.is_empty());
+        assert_eq!(parsed.horizon(), 0);
+        // Header-only and fully blank inputs also parse to the empty plan.
+        assert_eq!(
+            read_csv("kind,plane,input,at,until\n".as_bytes()).unwrap(),
+            plan
+        );
+        assert_eq!(read_csv("".as_bytes()).unwrap(), plan);
+        assert_eq!(read_csv("\n\n".as_bytes()).unwrap(), plan);
+    }
+
+    #[test]
+    fn csv_round_trips_duplicate_slot_entries() {
+        // Two downs of the same plane at the same slot, plus an up of
+        // another plane in between: duplicates are legal script (the
+        // engine treats a re-down as a no-op) and must survive the trip
+        // verbatim, including their relative order.
+        let plan = FaultPlan::new()
+            .plane_down(1, 50)
+            .plane_up(0, 50)
+            .plane_down(1, 50)
+            .link_degraded(2, 1, 50, 60)
+            .link_degraded(2, 1, 50, 60);
+        let mut buf = Vec::new();
+        write_csv(&plan, &mut buf).unwrap();
+        let parsed = read_csv(&buf[..]).unwrap();
+        assert_eq!(parsed, plan);
+        assert_eq!(parsed.len(), 5);
+        assert!(parsed.events().iter().all(|e| e.activates_at() == 50));
+    }
+
+    #[test]
+    fn csv_round_trips_out_of_order_events() {
+        // The CSV may list events in any order; parsing rebuilds the plan
+        // through the builders, which sort stably by activation slot — so
+        // a scrambled file loads equal to the sorted plan.
+        let scrambled = "kind,plane,input,at,until\n\
+                         up,0,,900,\n\
+                         degrade,1,3,10,20\n\
+                         down,0,,300,\n";
+        let parsed = read_csv(scrambled.as_bytes()).unwrap();
+        let expect = FaultPlan::new()
+            .link_degraded(3, 1, 10, 20)
+            .plane_down(0, 300)
+            .plane_up(0, 900);
+        assert_eq!(parsed, expect);
+        let slots: Vec<Slot> = parsed.events().iter().map(|e| e.activates_at()).collect();
+        assert_eq!(slots, vec![10, 300, 900]);
+        // And the round trip of the re-sorted plan is stable.
+        let mut buf = Vec::new();
+        write_csv(&parsed, &mut buf).unwrap();
+        assert_eq!(read_csv(&buf[..]).unwrap(), parsed);
+    }
+
+    #[test]
+    fn csv_round_trips_events_past_the_run_horizon() {
+        // Events scheduled far past any realistic run horizon are kept:
+        // the plan does not know the run length, the engine simply never
+        // reaches them. validate() accepts them too — geometry is its
+        // business, time is not.
+        let plan = FaultPlan::new()
+            .plane_down(0, 10)
+            .plane_up(0, u64::MAX - 1)
+            .link_degraded(0, 1, 1 << 40, (1 << 40) + 5);
+        let mut buf = Vec::new();
+        write_csv(&plan, &mut buf).unwrap();
+        let parsed = read_csv(&buf[..]).unwrap();
+        assert_eq!(parsed, plan);
+        assert_eq!(parsed.horizon(), u64::MAX - 1);
+        let cfg = PpsConfig::bufferless(4, 2, 2);
+        assert!(parsed.validate(&cfg).is_ok());
+    }
+
+    #[test]
     fn plane_mask_bookkeeping() {
         let mut m = PlaneMask::all_up(4);
         assert!(!m.any_down());

@@ -40,12 +40,14 @@ pub mod error;
 pub mod fault;
 pub mod ids;
 pub mod link;
+pub mod oracle;
 pub mod perf;
 pub mod prelude;
 pub mod queue;
 pub mod rate;
 pub mod record;
 pub mod snapshot;
+pub mod sweep;
 pub mod telemetry;
 pub mod time;
 pub mod topology;
@@ -61,6 +63,7 @@ pub use error::ModelError;
 pub use fault::{FaultEvent, FaultPlan, PlaneMask};
 pub use ids::{CellId, FlowId, PlaneId, PortId};
 pub use link::LinkBank;
+pub use oracle::{OracleKind, OracleViolation};
 pub use rate::Ratio;
 pub use record::{CellRecord, RunLog};
 pub use snapshot::GlobalSnapshot;

@@ -14,6 +14,7 @@
 //! ppslab --telemetry counters          # event counters to stderr after the run
 //! ppslab --telemetry full --trace-out trace.json e3   # Perfetto-loadable trace
 //! ppslab custom --n 32 --k 8 --rprime 4 --algo rr --workload attack
+//! ppslab chaos --seed 42 --cases 256 --budget-slots 256   # fuzz with oracles
 //! ```
 //!
 //! Whatever `--jobs` says, the printed tables are byte-identical: the sweep
@@ -117,11 +118,29 @@ fn main() {
         }
         return;
     }
+    if args.first().map(String::as_str) == Some("chaos") {
+        match pps_chaos::run_chaos(&args[1..]) {
+            Ok(report) => {
+                print!("{}", report.text);
+                if report.failed > 0 {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     let csv = args.iter().any(|a| a == "--csv");
     let markdown = args.iter().any(|a| a == "--markdown");
     let out_dir = flag_value(&args, "--out").cloned();
     if let Some(dir) = &out_dir {
-        std::fs::create_dir_all(dir).expect("create --out directory");
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("error: --out {dir}: {e}");
+            std::process::exit(2);
+        });
     }
     let bench_path = flag_value(&args, "--bench-json").cloned();
     let telemetry_level = match flag_value(&args, "--telemetry") {
@@ -214,7 +233,10 @@ fn main() {
     };
     if let Some(path) = &bench_path {
         let json = bench_json(jobs, suite_start.elapsed().as_secs_f64(), &bench);
-        std::fs::write(path, json).expect("write --bench-json file");
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("error: --bench-json {path}: {e}");
+            std::process::exit(2);
+        });
     }
     let mut failures = 0usize;
     for out in outputs {
@@ -232,7 +254,10 @@ fn main() {
         if let Some(dir) = &out_dir {
             for (i, t) in out.tables.iter().enumerate() {
                 let path = std::path::Path::new(dir).join(format!("{}_{i}.csv", out.id));
-                std::fs::write(&path, t.to_csv()).expect("write table CSV");
+                std::fs::write(&path, t.to_csv()).unwrap_or_else(|e| {
+                    eprintln!("error: --out {}: {e}", path.display());
+                    std::process::exit(2);
+                });
             }
         }
         println!();

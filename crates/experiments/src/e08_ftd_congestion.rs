@@ -36,6 +36,13 @@ pub struct CongestionOutcome {
     pub max_rank_delta: i64,
     /// Cells compared rank-wise.
     pub ranks: usize,
+    /// Maximum deviation of the hot output's in-fabric occupancy from the
+    /// Theorem-14 ramp (slope `senders − 1` per slot) inside the window.
+    pub shape_dev: u64,
+    /// Occupancy samples taken inside the window.
+    pub shape_samples: usize,
+    /// The ramp oracle's verdict ([`pps_core::oracle::check_linear_ramp`]).
+    pub shape_violation: Option<pps_core::OracleViolation>,
 }
 
 /// Run the congestion scenario with the extended-FTD demultiplexor.
@@ -53,6 +60,12 @@ pub fn point(n: usize, k: usize, r_prime: usize, h: usize, duration: Slot) -> Co
     let mut now: Slot = 0;
     let mut congestion_start = None;
     let mut scratch: Vec<Cell> = Vec::new();
+    // Occupancy of the hot output inside the congested window. Theorem 14
+    // makes the output work-conserving there (one departure per slot)
+    // while the adversary offers `senders` cells per slot, so the series
+    // must ramp linearly at `senders - 1` — the executable "bound shape"
+    // the chaos oracle layer checks below.
+    let mut series: Vec<(Slot, u64)> = Vec::new();
     let cap = duration + (cells.len() as Slot + 2) * (r_prime as Slot + 1) + 64;
     while next < cells.len() || pps.backlog() > 0 {
         scratch.clear();
@@ -63,6 +76,9 @@ pub fn point(n: usize, k: usize, r_prime: usize, h: usize, duration: Slot) -> Co
         pps.slot(now, &scratch, &mut log).expect("model-legal run");
         if congestion_start.is_none() && pps.fabric().all_planes_backlogged_for(0) {
             congestion_start = Some(now);
+        }
+        if congestion_start.is_some_and(|start| now >= start) && now < duration {
+            series.push((now, pps.fabric().queued_for(0) as u64));
         }
         now += 1;
         if now > cap {
@@ -79,11 +95,18 @@ pub fn point(n: usize, k: usize, r_prime: usize, h: usize, duration: Slot) -> Co
         .filter(|v| matches!(v, Violation::IdleWithBacklog { output, .. } if output.idx() == 0))
         .count();
     let deltas = metrics::rank_relative_delay(&log, &oq, PortId(0), window);
+    // The shape tolerance covers one slot's worth of in-flight jitter on
+    // either side of the ideal ramp plus the r'-slot line granularity.
+    let slope = senders as i64 - 1;
+    let tolerance = 2 * senders as u64 + 2 * r_prime as u64 + 4;
     CongestionOutcome {
         congestion_start,
         wc_violations,
         max_rank_delta: deltas.iter().copied().map(i64::abs).max().unwrap_or(0),
         ranks: deltas.len(),
+        shape_dev: pps_core::oracle::max_ramp_deviation(&series, slope),
+        shape_samples: series.len(),
+        shape_violation: pps_core::oracle::check_linear_ramp(&series, slope, tolerance),
     }
 }
 
@@ -100,6 +123,7 @@ pub fn run() -> ExperimentOutput {
             "wc violations in window",
             "max rank delta",
             "ranks compared",
+            "ramp dev (slope S)",
         ],
     );
     let mut pass = true;
@@ -109,14 +133,19 @@ pub fn run() -> ExperimentOutput {
     for (&h, out) in plan.points().iter().zip(results) {
         let warm = out.congestion_start;
         warmups.push((h, warm));
-        pass &=
-            warm.is_some() && out.wc_violations == 0 && out.max_rank_delta <= 1 && out.ranks > 0;
+        pass &= warm.is_some()
+            && out.wc_violations == 0
+            && out.max_rank_delta <= 1
+            && out.ranks > 0
+            && out.shape_samples > 0
+            && out.shape_violation.is_none();
         table.row_display(&[
             h.to_string(),
             warm.map_or("never".into(), |w| w.to_string()),
             out.wc_violations.to_string(),
             out.max_rank_delta.to_string(),
             out.ranks.to_string(),
+            out.shape_dev.to_string(),
         ]);
     }
     ExperimentOutput {
@@ -134,6 +163,11 @@ pub fn run() -> ExperimentOutput {
             "rank deltas of +-1 slot at the window boundary come from the PPS serving \
              one pre-congestion straggler in a different interleaving; the delta does \
              not grow with the congestion duration (checked up to 3200 slots)"
+                .into(),
+            "ramp dev: max deviation of the hot output's in-fabric occupancy from the \
+             Theorem-14 shape (linear ramp at S = senders-1 per slot inside the \
+             congested window), checked by the chaos oracle layer's linear-ramp \
+             invariant; pass requires it within one slot of in-flight jitter"
                 .into(),
         ],
         pass,
@@ -155,6 +189,13 @@ mod tests {
             out.max_rank_delta
         );
         assert!(out.ranks > 100);
+        assert!(out.shape_samples > 100, "window too short to check shape");
+        assert!(
+            out.shape_violation.is_none(),
+            "occupancy off the Theorem-14 ramp: {:?} (dev {})",
+            out.shape_violation,
+            out.shape_dev
+        );
     }
 
     #[test]

@@ -209,6 +209,12 @@ impl<D: Demultiplexor> BufferlessPps<D> {
         self.fabric.recover_plane(plane)
     }
 
+    /// Test-only chaos hook; see `Fabric::inject_conservation_leak`.
+    #[doc(hidden)]
+    pub fn inject_conservation_leak(&mut self) {
+        self.fabric.inject_conservation_leak();
+    }
+
     /// Replay `plan` during the next [`run`](Self::run): each event takes
     /// effect at the start of its slot. Validates the plan against the
     /// switch geometry.
@@ -394,6 +400,12 @@ impl<D: BufferedDemultiplexor> BufferedPps<D> {
     /// Fault-injection: bring a failed plane back into service.
     pub fn recover_plane(&mut self, plane: usize) -> Result<(), ModelError> {
         self.fabric.recover_plane(plane)
+    }
+
+    /// Test-only chaos hook; see `Fabric::inject_conservation_leak`.
+    #[doc(hidden)]
+    pub fn inject_conservation_leak(&mut self) {
+        self.fabric.inject_conservation_leak();
     }
 
     /// Replay `plan` during the next [`run`](Self::run); see

@@ -60,6 +60,12 @@ pub struct Fabric {
     /// Live per-output mux occupancy for snapshots.
     output_pending_live: Vec<u32>,
     dropped: u64,
+    /// Test-only chaos hook: number of flushed cells to "lose" without
+    /// accounting them (see [`inject_conservation_leak`]). Always 0 in
+    /// real runs.
+    ///
+    /// [`inject_conservation_leak`]: Self::inject_conservation_leak
+    leak_budget: u32,
 }
 
 impl Fabric {
@@ -87,6 +93,7 @@ impl Fabric {
             plane_len_live: vec![0; k * n],
             output_pending_live: vec![0; n],
             dropped: 0,
+            leak_budget: 0,
         }
     }
 
@@ -265,6 +272,32 @@ impl Fabric {
         self.active_list.truncate(write);
     }
 
+    /// Total cells emitted by the output multiplexors so far — the
+    /// departure side of the conservation ledger.
+    pub fn departed(&self) -> u64 {
+        self.outputs.iter().map(|o| o.emitted()).sum()
+    }
+
+    /// Cells currently inside the fabric destined for `output` (its plane
+    /// queues plus its multiplexor) — the occupancy the congestion-shape
+    /// oracle samples per slot.
+    pub fn queued_for(&self, output: usize) -> usize {
+        self.planes
+            .iter()
+            .map(|p| p.queue_len(output))
+            .sum::<usize>()
+            + self.outputs[output].held()
+    }
+
+    /// Test-only chaos hook: arm the fabric to silently lose the next
+    /// flushed cell on a plane failure *without* counting it dropped —
+    /// an intentional conservation bug the chaos harness must catch and
+    /// shrink. Never called outside the oracle-validation tests.
+    #[doc(hidden)]
+    pub fn inject_conservation_leak(&mut self) {
+        self.leak_budget += 1;
+    }
+
     /// Total cells inside the fabric (plane queues + output muxes).
     pub fn backlog(&self) -> usize {
         self.planes.iter().map(|p| p.backlog()).sum::<usize>()
@@ -286,6 +319,14 @@ impl Fabric {
         for id in self.planes[plane].fail() {
             let j = self.pool.output(id).idx();
             self.plane_len_live[plane * self.cfg.n + j] -= 1;
+            if self.leak_budget > 0 {
+                // Injected bug (test-only, see `inject_conservation_leak`):
+                // the cell vanishes without being counted dropped or
+                // unregistered — exactly the accounting slip the chaos
+                // conservation oracle exists to catch.
+                self.leak_budget -= 1;
+                continue;
+            }
             self.dropped += 1;
             if self.cfg.discipline == OutputDiscipline::GlobalFcfs {
                 self.outputs[j].unregister_in_flight(id);

@@ -24,10 +24,12 @@
 
 pub mod chrome;
 pub mod metrics;
+pub mod oracle;
 pub mod sink;
 
 pub use chrome::{lint, write_chrome, LintReport};
 pub use metrics::{Log2Histogram, MetricsReport, OccupancySeries};
+pub use oracle::{check_stream, StreamOracleConfig};
 pub use sink::{write_csv, write_jsonl};
 
 use pps_core::telemetry::EventLog;
