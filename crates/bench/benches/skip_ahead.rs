@@ -1,0 +1,130 @@
+//! Skip-ahead stepping benches (DESIGN.md §15): the same gap-heavy
+//! workloads run under the dense lockstep loop and the event-driven
+//! skip-ahead loop. Results are byte-identical (see the `skip_equivalence`
+//! suite); these benches measure the wall-clock side of that contract —
+//! O(horizon) vs O(events).
+//!
+//! Three shapes:
+//! * `sparse_trace` — isolated single-slot bursts across a 200k-slot
+//!   horizon (≪1% occupancy), the paper's low-load regime;
+//! * `bursty_onoff` — on/off traffic whose off periods dwarf the on
+//!   periods, so the win depends on jumping mid-trace gaps;
+//! * `long_gap_faults` — an almost-empty trace whose fault plan keeps
+//!   scheduled events far apart, exercising the fault-schedule lookahead
+//!   and watchdog wake-up math.
+//!
+//! The `skip` side of each pair is gated in CI via BENCH_baselines.json;
+//! the `dense` side is the honest denominator and is left ungated (its
+//! cost is the point being optimized away).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pps_core::fault::FaultPlan;
+use pps_core::prelude::*;
+use pps_core::Stepping;
+use pps_switch::demux::RoundRobinDemux;
+use pps_switch::engine::BufferlessPps;
+use pps_traffic::gen::OnOffGen;
+
+fn run(cfg: PpsConfig, trace: &Trace, plan: Option<&FaultPlan>, mode: Stepping) -> u64 {
+    let (n, k) = (cfg.n, cfg.k);
+    let mut pps = BufferlessPps::new(cfg, RoundRobinDemux::new(n, k)).expect("engine");
+    if let Some(p) = plan {
+        pps.set_fault_plan(p).expect("plan");
+    }
+    pps.set_stepping(mode);
+    pps.run(trace).expect("run").end_slot
+}
+
+/// Isolated bursts over a long horizon: 40 single-slot full-load bursts
+/// spaced 5 000 slots apart.
+fn bench_sparse_trace(c: &mut Criterion) {
+    let (n, k, r_prime) = (16usize, 8usize, 4usize);
+    let cfg = PpsConfig::bufferless(n, k, r_prime);
+    let mut v = Vec::new();
+    for burst in 0..40u64 {
+        for i in 0..n as u32 {
+            v.push(Arrival::new(
+                burst * 5_000,
+                i,
+                (i + burst as u32) % n as u32,
+            ));
+        }
+    }
+    let trace = Trace::build(v, n).expect("trace");
+    let mut g = c.benchmark_group("skip_ahead");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(trace.horizon()));
+    for mode in [Stepping::Dense, Stepping::SkipAhead] {
+        g.bench_with_input(
+            BenchmarkId::new("sparse_trace", mode.name()),
+            &trace,
+            |b, t| b.iter(|| run(cfg, black_box(t), None, mode)),
+        );
+    }
+    g.finish();
+}
+
+/// Bursty on/off traffic: long off periods mid-trace are where the jump
+/// logic must engage and disengage repeatedly.
+fn bench_bursty_onoff(c: &mut Criterion) {
+    let (n, k, r_prime) = (16usize, 8usize, 4usize);
+    let cfg = PpsConfig::bufferless(n, k, r_prime).with_watchdog(32);
+    // Mean on 4, load 0.002: even the union of all inputs' on-periods
+    // covers only a few percent of the horizon, so cross-burst gaps
+    // dominate (at higher loads the union closes up and the two loops
+    // converge — that regime is `slot_throughput`'s job).
+    let trace = OnOffGen::uniform(4.0, 0.002, 7).trace(n, 200_000);
+    let mut g = c.benchmark_group("skip_ahead");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(trace.horizon()));
+    for mode in [Stepping::Dense, Stepping::SkipAhead] {
+        g.bench_with_input(
+            BenchmarkId::new("bursty_onoff", mode.name()),
+            &trace,
+            |b, t| b.iter(|| run(cfg, black_box(t), None, mode)),
+        );
+    }
+    g.finish();
+}
+
+/// A nearly-empty trace with a fault plan whose events are tens of
+/// thousands of slots apart: time passes because the schedule says so,
+/// not because cells flow.
+fn bench_long_gap_faults(c: &mut Criterion) {
+    let (n, k, r_prime) = (16usize, 8usize, 4usize);
+    let cfg = PpsConfig::bufferless(n, k, r_prime).with_watchdog(16);
+    let mut v = Vec::new();
+    for i in 0..n as u32 {
+        v.push(Arrival::new(0, i, i));
+        v.push(Arrival::new(150_000, i, (i + 1) % n as u32));
+    }
+    let trace = Trace::build(v, n).expect("trace");
+    let mut plan = FaultPlan::new();
+    for pulse in 0..6u64 {
+        let at = 10_000 + pulse * 20_000;
+        plan = plan
+            .plane_down((pulse % k as u64) as u32, at)
+            .plane_up((pulse % k as u64) as u32, at + 5_000);
+    }
+    let mut g = c.benchmark_group("skip_ahead");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(trace.horizon()));
+    for mode in [Stepping::Dense, Stepping::SkipAhead] {
+        g.bench_with_input(
+            BenchmarkId::new("long_gap_faults", mode.name()),
+            &trace,
+            |b, t| b.iter(|| run(cfg, black_box(t), Some(&plan), mode)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    skip_ahead,
+    bench_sparse_trace,
+    bench_bursty_onoff,
+    bench_long_gap_faults
+);
+criterion_main!(skip_ahead);

@@ -322,6 +322,19 @@ impl ChaosCase {
         }
     }
 
+    /// The slot-stepping mode this case runs its engines with. Derived
+    /// from the already-drawn `seed` (a multiply-and-shift hash, *not* a
+    /// fresh RNG draw), so adding it did not change the generation draw
+    /// order and every recorded `(seed, index)` repro pair stays valid.
+    /// Roughly half the cases fuzz each mode.
+    pub fn stepping(&self) -> pps_core::Stepping {
+        if self.seed.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 63 == 0 {
+            pps_core::Stepping::Dense
+        } else {
+            pps_core::Stepping::SkipAhead
+        }
+    }
+
     /// Whether the paper's relative-delay envelope is a sound oracle for
     /// this case: the bound is proved for fault-free bufferless runs with
     /// an order-preserving discipline and no watchdog skips, and the chaos

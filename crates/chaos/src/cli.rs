@@ -70,6 +70,9 @@ pub struct ChaosOptions {
     pub truncate_at: Option<Slot>,
     /// Arm the test-only conservation-leak hook this many times per case.
     pub inject_leak: u32,
+    /// Pin every case to one stepping mode instead of the per-case draw
+    /// (`--stepping dense|skip`). Reports are byte-identical either way.
+    pub force_stepping: Option<pps_core::Stepping>,
 }
 
 impl Default for ChaosOptions {
@@ -84,6 +87,7 @@ impl Default for ChaosOptions {
             plan_override: None,
             truncate_at: None,
             inject_leak: 0,
+            force_stepping: None,
         }
     }
 }
@@ -117,6 +121,12 @@ pub fn parse(args: &[String]) -> Result<ChaosOptions, ChaosError> {
             "--plan" => plan_path = Some(PathBuf::from(value()?)),
             "--truncate-at" => opts.truncate_at = Some(parse_num(flag, value()?)?),
             "--inject-leak" => opts.inject_leak = parse_num(flag, value()?)?,
+            "--stepping" => {
+                let v = value()?;
+                opts.force_stepping = Some(pps_core::Stepping::parse(v).ok_or_else(|| {
+                    ChaosError::InvalidFlag(format!("--stepping {v}: expected dense or skip"))
+                })?);
+            }
             other => {
                 return Err(ChaosError::InvalidFlag(format!("unknown flag {other}")));
             }
@@ -171,6 +181,7 @@ pub fn run(opts: &ChaosOptions) -> Result<ChaosReport, ChaosError> {
     let run_opts = RunOpts {
         keep_events: false,
         inject_leak: opts.inject_leak,
+        force_stepping: opts.force_stepping,
     };
     let seed = opts.seed;
     let budget = opts.budget_slots;

@@ -90,6 +90,10 @@ impl Demultiplexor for FuzzDemux {
         self.inner_mut().on_slot(now, global);
     }
 
+    fn next_activity(&self, now: Slot) -> Option<Slot> {
+        self.inner().next_activity(now)
+    }
+
     fn reset(&mut self) {
         self.inner_mut().reset();
     }

@@ -15,7 +15,7 @@ use crate::case::ChaosCase;
 use crate::fuzz_demux::FuzzDemux;
 use pps_core::oracle::{self, ConservationLedger, OracleKind, OracleViolation};
 use pps_core::telemetry::{self, Event};
-use pps_core::{Cell, ModelError, RunLog, Slot};
+use pps_core::{Cell, ModelError, RunLog, Slot, Stepping};
 use pps_crossbar::{CioqSwitch, CrossbarSwitch};
 use pps_reference::ShadowOq;
 use pps_switch::demux::BufferedRoundRobinDemux;
@@ -45,6 +45,10 @@ pub struct RunOpts {
     /// flush without accounting for it). Used to prove the harness
     /// catches and shrinks a real conservation bug; 0 in normal runs.
     pub inject_leak: u32,
+    /// Pin the lockstep loop's stepping mode instead of letting the case
+    /// draw it from its seed ([`ChaosCase::stepping`]). Used by the
+    /// dense/skip equivalence tests; `None` in normal campaigns.
+    pub force_stepping: Option<Stepping>,
 }
 
 /// How a failed case failed — the signature the shrinker preserves.
@@ -159,6 +163,20 @@ impl EngineUnderTest {
             EngineUnderTest::Buffered(e) => e.inject_conservation_leak(),
         }
     }
+
+    fn next_activity(&self, now: Slot) -> Option<Slot> {
+        match self {
+            EngineUnderTest::Bufferless(e) => e.next_activity(now),
+            EngineUnderTest::Buffered(e) => e.next_activity(now),
+        }
+    }
+
+    fn skip_idle(&mut self, from: Slot, to: Slot) {
+        match self {
+            EngineUnderTest::Bufferless(e) => e.skip_idle(from, to),
+            EngineUnderTest::Buffered(e) => e.skip_idle(from, to),
+        }
+    }
 }
 
 /// Run one case through all four engines and every oracle.
@@ -266,6 +284,7 @@ fn lockstep(case: &ChaosCase, opts: RunOpts, cells: &[Cell]) -> (CaseOutcome, Ru
     let mut arrivals_so_far = 0u64;
     let mut last_progress: Slot = 0;
     let mut last_other_backlog = 0usize;
+    let stepping = opts.force_stepping.unwrap_or_else(|| case.stepping());
 
     loop {
         let start = next;
@@ -321,6 +340,40 @@ fn lockstep(case: &ChaosCase, opts: RunOpts, cells: &[Cell]) -> (CaseOutcome, Ru
             break;
         }
         now += 1;
+
+        if stepping == Stepping::SkipAhead {
+            // Jump to wherever dense would next do or decide anything: the
+            // next arrival, the earliest component activity, or the first
+            // slot at which a break condition above could fire (the cap or
+            // the stall window). Landing exactly there keeps end_slot and
+            // every per-slot check identical to the dense walk.
+            let limit = cap.min(last_progress + STALL_WINDOW + 1);
+            let mut target = if next < cells.len() {
+                cells[next].arrival
+            } else {
+                Slot::MAX
+            };
+            for t in [
+                engine.next_activity(now - 1),
+                oq.next_activity(now - 1),
+                xbar.next_activity(now - 1),
+                cioq.next_activity(now - 1),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                target = target.min(t);
+            }
+            let stop = target.min(limit);
+            if stop > now {
+                engine.skip_idle(now, stop - 1);
+                // The crossbar and CIOQ meter every dense slot themselves;
+                // account the stretch they just elided (the engine meters
+                // its own inside skip_idle, the shadow OQ meters nothing).
+                pps_core::perf::record_skipped(2 * (stop - now));
+                now = stop;
+            }
+        }
     }
 
     let stats = engine.fabric().stats();

@@ -56,6 +56,32 @@ fn report_is_byte_identical_across_job_counts() {
 }
 
 #[test]
+fn report_is_byte_identical_dense_vs_skip() {
+    // The skip-ahead lockstep must land on exactly the slots the dense
+    // walk would have acted on: same verdicts, same end slots, same
+    // delivered/dropped tallies — the whole report, byte for byte.
+    let base = ChaosOptions {
+        seed: 42,
+        cases: 32,
+        budget_slots: 128,
+        repro_out: temp_dir("stepping"),
+        ..ChaosOptions::default()
+    };
+    let dense = cli::run(&ChaosOptions {
+        force_stepping: Some(pps_core::Stepping::Dense),
+        ..base.clone()
+    })
+    .expect("dense run");
+    let skip = cli::run(&ChaosOptions {
+        force_stepping: Some(pps_core::Stepping::SkipAhead),
+        ..base
+    })
+    .expect("skip run");
+    assert_eq!(dense.failed, 0, "{}", dense.text);
+    assert_eq!(dense.text, skip.text);
+}
+
+#[test]
 fn injected_bug_is_caught_and_shrunk() {
     let repro_root = temp_dir("leak");
     // Arm the conservation-leak hook on every case: any case whose plan

@@ -130,6 +130,17 @@ pub trait Demultiplexor: Send {
     /// state here when no cell arrives; the default body does nothing.
     fn on_slot(&mut self, _now: Slot, _global: Option<&GlobalSnapshot>) {}
 
+    /// The next slot strictly after `now` at which this automaton needs to
+    /// be stepped even without an arrival, or `None` if it is quiescent
+    /// until the next cell. Skip-ahead engines do **not** invoke
+    /// [`on_slot`](Self::on_slot) for slots a jump elides, so any algorithm
+    /// whose state ages with time (timers, decaying counters) must report
+    /// its next wake-up here. The default — correct for every stateless or
+    /// arrival-driven automaton, per Definition 5 — is `None`.
+    fn next_activity(&self, _now: Slot) -> Option<Slot> {
+        None
+    }
+
     /// Return the automaton to its initial configuration.
     fn reset(&mut self);
 
@@ -194,6 +205,16 @@ pub trait BufferedDemultiplexor: Send {
         ctx: &DispatchCtx<'_>,
         out: &mut BufferedDecision,
     );
+
+    /// The next slot strictly after `now` at which this automaton needs a
+    /// [`slot_decision`](Self::slot_decision) call even without an arrival
+    /// or buffered cell, or `None` if it is quiescent until then. See
+    /// [`Demultiplexor::next_activity`]; the engine already forces dense
+    /// stepping while any input buffer is non-empty, so only time-aging
+    /// state needs reporting here.
+    fn next_activity(&self, _now: Slot) -> Option<Slot> {
+        None
+    }
 
     /// Return the automaton to its initial configuration.
     fn reset(&mut self);

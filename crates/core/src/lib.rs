@@ -47,6 +47,7 @@ pub mod queue;
 pub mod rate;
 pub mod record;
 pub mod snapshot;
+pub mod stepping;
 pub mod sweep;
 pub mod telemetry;
 pub mod time;
@@ -67,5 +68,6 @@ pub use oracle::{OracleKind, OracleViolation};
 pub use rate::Ratio;
 pub use record::{CellRecord, RunLog};
 pub use snapshot::GlobalSnapshot;
+pub use stepping::Stepping;
 pub use time::Slot;
 pub use trace::{Arrival, Trace};

@@ -1,0 +1,107 @@
+//! Slot-stepping policy: dense lockstep vs event-driven skip-ahead.
+//!
+//! Every engine in the workspace historically advanced `now` one slot at a
+//! time, paying a full loop iteration even when nothing was in flight.
+//! Skip-ahead stepping (DESIGN.md §15) instead asks every time-bearing
+//! component for its *next activity slot* — the next scripted arrival, the
+//! earliest plane-service event, a resequencer watchdog expiry, the next
+//! fault activation — and jumps `now` to the minimum, replaying the skipped
+//! interval's effects in closed form. The two modes are **byte-identical**
+//! in everything observable (run logs, statistics, telemetry traces,
+//! oracle verdicts); they differ only in wall clock and in how the
+//! [`crate::perf`] meters split slots between `simulated` and `skipped`.
+//!
+//! The process-wide default is [`Stepping::SkipAhead`]; the dense loop
+//! stays available behind `ppslab --stepping dense` (and per-engine
+//! setters) for paranoia runs and for the equivalence harness that pits
+//! the two against each other.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// How an engine's run loop advances time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Stepping {
+    /// Classic lockstep: `now` increments by one every iteration, idle
+    /// slots included.
+    Dense,
+    /// Event-driven: `now` jumps to the earliest next-activity slot
+    /// reported by any component, with skipped intervals replayed in
+    /// closed form. The default.
+    #[default]
+    SkipAhead,
+}
+
+impl Stepping {
+    /// Parse a CLI spelling (`dense`, `skip` / `skip-ahead`).
+    pub fn parse(s: &str) -> Option<Stepping> {
+        match s {
+            "dense" => Some(Stepping::Dense),
+            "skip" | "skip-ahead" | "skipahead" => Some(Stepping::SkipAhead),
+            _ => None,
+        }
+    }
+
+    /// Short stable name (report lines, bench ids).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stepping::Dense => "dense",
+            Stepping::SkipAhead => "skip",
+        }
+    }
+}
+
+/// `true` while the process default is [`Stepping::Dense`].
+static DEFAULT_DENSE: AtomicBool = AtomicBool::new(false);
+
+/// Set the process-wide default stepping mode. Engines read it once at
+/// construction (so a mid-run flip cannot desynchronize a run); per-engine
+/// setters override it. Drivers (`ppslab --stepping`) call this before
+/// building anything.
+pub fn set_process_default(mode: Stepping) {
+    DEFAULT_DENSE.store(mode == Stepping::Dense, Ordering::Relaxed);
+}
+
+/// The process-wide default stepping mode (see [`set_process_default`]).
+pub fn process_default() -> Stepping {
+    if DEFAULT_DENSE.load(Ordering::Relaxed) {
+        Stepping::Dense
+    } else {
+        Stepping::SkipAhead
+    }
+}
+
+/// Fold two optional next-activity slots into the earlier one — the
+/// reduction every engine's `next_activity` performs over its components.
+#[inline]
+pub fn earliest(
+    a: Option<crate::time::Slot>,
+    b: Option<crate::time::Slot>,
+) -> Option<crate::time::Slot> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!(Stepping::parse("dense"), Some(Stepping::Dense));
+        assert_eq!(Stepping::parse("skip"), Some(Stepping::SkipAhead));
+        assert_eq!(Stepping::parse("skip-ahead"), Some(Stepping::SkipAhead));
+        assert_eq!(Stepping::parse("bogus"), None);
+        assert_eq!(Stepping::default(), Stepping::SkipAhead);
+    }
+
+    #[test]
+    fn earliest_folds_options() {
+        assert_eq!(earliest(None, None), None);
+        assert_eq!(earliest(Some(3), None), Some(3));
+        assert_eq!(earliest(None, Some(7)), Some(7));
+        assert_eq!(earliest(Some(9), Some(7)), Some(7));
+    }
+}

@@ -331,8 +331,9 @@ const COUNTER_NAMES: [&str; KINDS] = [
 /// with the `perf` slot meter. Cumulative and monotonic, like
 /// [`crate::perf::slots_simulated`].
 pub fn counters() -> Vec<(&'static str, u64)> {
-    let mut out = Vec::with_capacity(KINDS + 4);
+    let mut out = Vec::with_capacity(KINDS + 5);
     out.push(("perf.slots_simulated", crate::perf::slots_simulated()));
+    out.push(("perf.slots_skipped", crate::perf::slots_skipped()));
     for (i, name) in COUNTER_NAMES.iter().enumerate() {
         out.push((*name, COUNTERS[i].load(Ordering::Relaxed)));
     }

@@ -135,14 +135,35 @@ impl CioqSwitch {
         self.voqs.iter().map(|q| q.len()).sum::<usize>() + self.parked
     }
 
+    /// The next slot strictly after `now` at which the switch does
+    /// anything, ignoring future arrivals. The deadline oracle (`dt_last`)
+    /// holds absolute slots and needs no catch-up; an empty slot is a pure
+    /// no-op, so this is `now + 1` with backlog or nothing without.
+    pub fn next_activity(&self, now: Slot) -> Option<Slot> {
+        (self.backlog() > 0).then(|| now + 1)
+    }
+
     /// Largest output-queue occupancy reached.
     pub fn max_output_queue(&self) -> usize {
         self.max_outq
     }
 }
 
-/// Run a trace through a fresh CIOQ switch until it drains.
+/// Run a trace through a fresh CIOQ switch until it drains. Uses the
+/// process-default stepping mode.
 pub fn run_cioq(trace: &Trace, n: usize, speedup: usize) -> RunLog {
+    run_cioq_stepped(trace, n, speedup, pps_core::stepping::process_default())
+}
+
+/// [`run_cioq`] with an explicit stepping mode. Identical logs either way:
+/// an empty CIOQ slot moves no state (see [`CioqSwitch::next_activity`]),
+/// so skip-ahead jumps idle stretches and meters them as skipped.
+pub fn run_cioq_stepped(
+    trace: &Trace,
+    n: usize,
+    speedup: usize,
+    mode: pps_core::Stepping,
+) -> RunLog {
     let cells = trace.cells(n);
     let mut log = RunLog::with_cells(&cells);
     let mut sw = CioqSwitch::new(n, speedup);
@@ -160,6 +181,14 @@ pub fn run_cioq(trace: &Trace, n: usize, speedup: usize) -> RunLog {
         now += 1;
         if now > cap {
             break;
+        }
+        if mode == pps_core::Stepping::SkipAhead
+            && next < cells.len()
+            && cells[next].arrival > now
+            && sw.backlog() == 0
+        {
+            pps_core::perf::record_skipped(cells[next].arrival - now);
+            now = cells[next].arrival;
         }
     }
     log

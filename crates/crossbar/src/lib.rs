@@ -30,6 +30,6 @@ pub mod cioq;
 pub mod islip;
 pub mod switch;
 
-pub use cioq::{run_cioq, CioqSwitch};
+pub use cioq::{run_cioq, run_cioq_stepped, CioqSwitch};
 pub use islip::IslipArbiter;
-pub use switch::{run_crossbar, CrossbarSwitch};
+pub use switch::{run_crossbar, run_crossbar_stepped, CrossbarSwitch};

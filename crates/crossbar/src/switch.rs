@@ -77,6 +77,14 @@ impl CrossbarSwitch {
         self.voqs.iter().map(|q| q.len()).sum()
     }
 
+    /// The next slot strictly after `now` at which the switch does
+    /// anything, ignoring future arrivals. With backlog the crossbar
+    /// matches every slot; empty, a slot is a no-op — an all-empty request
+    /// matrix produces no grants, so the iSLIP pointers do not move.
+    pub fn next_activity(&self, now: Slot) -> Option<Slot> {
+        (self.backlog() > 0).then(|| now + 1)
+    }
+
     /// Highest VOQ occupancy reached.
     pub fn max_voq_occupancy(&self) -> usize {
         self.voqs
@@ -93,7 +101,21 @@ impl CrossbarSwitch {
 }
 
 /// Run a trace through a fresh crossbar until it drains; returns the log.
+/// Uses the process-default stepping mode.
 pub fn run_crossbar(trace: &Trace, n: usize, iterations: usize) -> RunLog {
+    run_crossbar_stepped(trace, n, iterations, pps_core::stepping::process_default())
+}
+
+/// [`run_crossbar`] with an explicit stepping mode. Identical logs either
+/// way: an empty crossbar slot moves no state (see
+/// [`CrossbarSwitch::next_activity`]), so skip-ahead jumps idle stretches
+/// and meters them as skipped instead of simulated.
+pub fn run_crossbar_stepped(
+    trace: &Trace,
+    n: usize,
+    iterations: usize,
+    mode: pps_core::Stepping,
+) -> RunLog {
     let cells = trace.cells(n);
     let mut log = RunLog::with_cells(&cells);
     let mut xb = CrossbarSwitch::new(n, iterations);
@@ -111,6 +133,14 @@ pub fn run_crossbar(trace: &Trace, n: usize, iterations: usize) -> RunLog {
         now += 1;
         if now > cap {
             break;
+        }
+        if mode == pps_core::Stepping::SkipAhead
+            && next < cells.len()
+            && cells[next].arrival > now
+            && xb.backlog() == 0
+        {
+            pps_core::perf::record_skipped(cells[next].arrival - now);
+            now = cells[next].arrival;
         }
     }
     log

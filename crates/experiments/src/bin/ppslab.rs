@@ -9,6 +9,7 @@
 //! ppslab --out results/   # also write every table as CSV into results/
 //! ppslab perf        # quick simulator-throughput summary
 //! ppslab --jobs 4    # worker budget (default: available parallelism; 1 = serial)
+//! ppslab --stepping dense   # force the dense slot loop (default: skip-ahead)
 //! ppslab --parallel  # deprecated no-op (the default is already parallel; use --jobs)
 //! ppslab --bench-json BENCH_experiments.json   # record wall-clock + slots/sec
 //! ppslab --telemetry counters          # event counters to stderr after the run
@@ -66,8 +67,9 @@ fn perf() {
     }
 }
 
-/// Per-experiment benchmark record: `(id, wall seconds, simulated slots)`.
-type BenchEntry = (&'static str, f64, u64);
+/// Per-experiment benchmark record:
+/// `(id, wall seconds, simulated slots, skipped slots)`.
+type BenchEntry = (&'static str, f64, u64, u64);
 
 /// Serialize the benchmark records by hand (two levels of objects — not
 /// worth a JSON dependency).
@@ -75,9 +77,13 @@ fn bench_json(jobs: usize, total_seconds: f64, entries: &[BenchEntry]) -> String
     let mut out = String::from("{\n");
     out.push_str("  \"suite\": \"ppslab\",\n");
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!(
+        "  \"stepping\": \"{}\",\n",
+        pps_core::stepping::process_default().name()
+    ));
     out.push_str(&format!("  \"total_wall_seconds\": {total_seconds:.3},\n"));
     out.push_str("  \"experiments\": [\n");
-    for (i, (id, secs, slots)) in entries.iter().enumerate() {
+    for (i, (id, secs, slots, skipped)) in entries.iter().enumerate() {
         let rate = if *secs > 0.0 {
             *slots as f64 / secs
         } else {
@@ -85,7 +91,7 @@ fn bench_json(jobs: usize, total_seconds: f64, entries: &[BenchEntry]) -> String
         };
         out.push_str(&format!(
             "    {{\"id\": \"{id}\", \"wall_seconds\": {secs:.3}, \"slots\": {slots}, \
-             \"slots_per_sec\": {rate:.0}}}{}\n",
+             \"slots_skipped\": {skipped}, \"slots_per_sec\": {rate:.0}}}{}\n",
             if i + 1 < entries.len() { "," } else { "" }
         ));
     }
@@ -143,6 +149,18 @@ fn main() {
         });
     }
     let bench_path = flag_value(&args, "--bench-json").cloned();
+    // Slot-loop mode for every engine constructed from here on. Tables
+    // and traces are byte-identical either way (tested); `dense` exists
+    // to demonstrate that and as the escape hatch.
+    if let Some(v) = flag_value(&args, "--stepping") {
+        match pps_core::Stepping::parse(v) {
+            Some(mode) => pps_core::stepping::set_process_default(mode),
+            None => {
+                eprintln!("error: --stepping must be dense or skip (got {v:?})");
+                std::process::exit(2);
+            }
+        }
+    }
     let telemetry_level = match flag_value(&args, "--telemetry") {
         Some(v) => pps_core::telemetry::Level::parse(v).unwrap_or_else(|| {
             eprintln!("error: --telemetry must be off, counters, or full (got {v:?})");
@@ -180,6 +198,7 @@ fn main() {
         "--bench-json",
         "--telemetry",
         "--trace-out",
+        "--stepping",
     ];
     let wanted: Vec<&String> = args
         .iter()
@@ -214,6 +233,7 @@ fn main() {
             .iter()
             .map(|(id, runner)| {
                 let slots0 = pps_switch::perf::slots_simulated();
+                let skipped0 = pps_switch::perf::slots_skipped();
                 let start = std::time::Instant::now();
                 let out = if tracing {
                     let (out, log) = pps_core::telemetry::collect(*id, runner);
@@ -223,7 +243,12 @@ fn main() {
                     runner()
                 };
                 let secs = start.elapsed().as_secs_f64();
-                bench.push((id, secs, pps_switch::perf::slots_simulated() - slots0));
+                bench.push((
+                    id,
+                    secs,
+                    pps_switch::perf::slots_simulated() - slots0,
+                    pps_switch::perf::slots_skipped() - skipped0,
+                ));
                 out
             })
             .collect()

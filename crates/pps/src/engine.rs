@@ -16,6 +16,7 @@
 
 use crate::fabric::{Fabric, FabricStats};
 use pps_core::prelude::*;
+use pps_core::stepping::{self, earliest};
 use pps_core::telemetry::{self, Engine, EventKind, FaultKind};
 
 /// Outcome of a complete PPS run.
@@ -100,6 +101,30 @@ impl InfoBus {
             ring.push(snap);
         }
     }
+
+    /// Replay the per-slot snapshot pushes of the skipped interval
+    /// `[from, to]`. The fabric is frozen across the gap (nothing arrives,
+    /// serves, or emits in a skipped slot), so dense stepping would push
+    /// the same snapshot contents under each gap slot's tag; only the last
+    /// `delay + 1` tags can survive the ring's eviction, so only those are
+    /// pushed — tag contiguity among retained entries is preserved either
+    /// way, which is what [`SnapshotRing::view`]'s index arithmetic needs.
+    fn skip_gap(&mut self, from: Slot, to: Slot, fabric: &Fabric, buffers: &[u32]) {
+        let Some(ring) = &mut self.ring else {
+            return;
+        };
+        let start = from.max(to.saturating_sub(ring.delay()));
+        for t in start..=to {
+            let snap = match ring.recycle_slot() {
+                Some(mut old) => {
+                    fabric.snapshot_into(t, buffers, &mut old);
+                    old
+                }
+                None => fabric.snapshot(t, buffers),
+            };
+            ring.push(snap);
+        }
+    }
 }
 
 /// A scripted [`FaultPlan`] being replayed against a run: a cursor over the
@@ -124,6 +149,13 @@ impl FaultSchedule {
 
     fn events(&self) -> &[FaultEvent] {
         self.plan.as_deref().map_or(&[], FaultPlan::events)
+    }
+
+    /// Activation slot of the next unapplied scripted event, if any.
+    /// Always strictly after the last slot [`apply_due`](Self::apply_due)
+    /// ran for, since that consumed everything due.
+    fn next_activity(&self) -> Option<Slot> {
+        self.events().get(self.next).map(|e| e.activates_at())
     }
 
     fn apply_due(&mut self, now: Slot, fabric: &mut Fabric) -> Result<(), ModelError> {
@@ -167,6 +199,7 @@ pub struct BufferlessPps<D: Demultiplexor> {
     demux: D,
     bus: InfoBus,
     faults: FaultSchedule,
+    stepping: Stepping,
 }
 
 impl<D: Demultiplexor> BufferlessPps<D> {
@@ -185,7 +218,15 @@ impl<D: Demultiplexor> BufferlessPps<D> {
             demux,
             bus,
             faults: FaultSchedule::default(),
+            stepping: stepping::process_default(),
         })
+    }
+
+    /// Override the slot-stepping mode (the default is the process-wide
+    /// setting at construction time; see [`pps_core::stepping`]). Both
+    /// modes produce byte-identical runs.
+    pub fn set_stepping(&mut self, mode: Stepping) {
+        self.stepping = mode;
     }
 
     /// The demultiplexor (e.g. to read algorithm-specific statistics).
@@ -304,6 +345,28 @@ impl<D: Demultiplexor> BufferlessPps<D> {
         self.fabric.backlog()
     }
 
+    /// The next slot strictly after `now` at which the switch does
+    /// anything beyond per-slot stall accounting, ignoring future arrivals
+    /// (the caller owns the arrival stream): the next scripted fault, any
+    /// fabric service/emit/watchdog activity, or a demux wake-up. `None`
+    /// means the switch is quiescent until the next arrival.
+    pub fn next_activity(&self, now: Slot) -> Option<Slot> {
+        let mut t = self.faults.next_activity();
+        t = earliest(t, self.fabric.next_activity(now));
+        t = earliest(t, self.demux.next_activity(now));
+        t.map(|s| s.max(now + 1))
+    }
+
+    /// Replay the dense loop's per-slot effects over the idle interval
+    /// `[from, to]` in closed form: output-stall accounting, information-
+    /// bus snapshot pushes, skipped-slot metering. Sound only when no cell
+    /// arrives in the interval and [`next_activity`](Self::next_activity)
+    /// reported nothing due before `to + 1`.
+    pub fn skip_idle(&mut self, from: Slot, to: Slot) {
+        self.fabric.skip_idle_slots(from, to);
+        self.bus.skip_gap(from, to, &self.fabric, &NO_BUFFERS);
+    }
+
     /// Run a whole trace to completion (arrivals plus drain).
     pub fn run(&mut self, trace: &Trace) -> Result<PpsRun, ModelError> {
         let cells = trace.cells(self.fabric.cfg().n);
@@ -324,6 +387,25 @@ impl<D: Demultiplexor> BufferlessPps<D> {
             if now > cap {
                 break; // livelock guard; remaining cells stay undelivered
             }
+            if self.stepping == Stepping::SkipAhead && (next < cells.len() || self.backlog() > 0) {
+                let next_arrival = cells.get(next).map(|c| c.arrival);
+                if next_arrival != Some(now) {
+                    let mut target = next_arrival.unwrap_or(Slot::MAX);
+                    if let Some(t) = self.next_activity(now - 1) {
+                        target = target.min(t);
+                    }
+                    // Dense walks idle slots through the cap before giving
+                    // up, so the jump may go one past it at most.
+                    let stop = target.min(cap + 1);
+                    if stop > now {
+                        self.skip_idle(now, stop - 1);
+                        now = stop;
+                        if now > cap {
+                            break;
+                        }
+                    }
+                }
+            }
         }
         Ok(PpsRun {
             log,
@@ -341,8 +423,12 @@ pub struct BufferedPps<D: BufferedDemultiplexor> {
     faults: FaultSchedule,
     buffers: Vec<std::collections::VecDeque<Cell>>,
     buffer_live: Vec<u32>,
+    /// Running total of `buffer_live` — lets the skip logic test "any
+    /// buffered cell anywhere" without an O(N) sweep.
+    buffered_cells: usize,
     capacity: usize,
     max_buffer_occupancy: usize,
+    stepping: Stepping,
     /// Per-slot decision scratch, cleared and refilled for every input so
     /// deciding allocates nothing in the steady state.
     decision: BufferedDecision,
@@ -370,10 +456,17 @@ impl<D: BufferedDemultiplexor> BufferedPps<D> {
                 .map(|_| std::collections::VecDeque::new())
                 .collect(),
             buffer_live: vec![0; cfg.n],
+            buffered_cells: 0,
             capacity,
             max_buffer_occupancy: 0,
+            stepping: stepping::process_default(),
             decision: BufferedDecision::default(),
         })
+    }
+
+    /// Override the slot-stepping mode; see [`BufferlessPps::set_stepping`].
+    pub fn set_stepping(&mut self, mode: Stepping) {
+        self.stepping = mode;
     }
 
     /// The demultiplexor.
@@ -513,6 +606,7 @@ impl<D: BufferedDemultiplexor> BufferedPps<D> {
                     index: idx,
                 })?;
             self.buffer_live[input] -= 1;
+            self.buffered_cells -= 1;
             if telemetry::on() {
                 telemetry::record(
                     Engine::Pps,
@@ -553,6 +647,7 @@ impl<D: BufferedDemultiplexor> BufferedPps<D> {
                 }
                 self.buffers[input].push_back(cell);
                 self.buffer_live[input] += 1;
+                self.buffered_cells += 1;
                 self.max_buffer_occupancy =
                     self.max_buffer_occupancy.max(self.buffers[input].len());
             }
@@ -563,7 +658,26 @@ impl<D: BufferedDemultiplexor> BufferedPps<D> {
 
     /// Cells still inside the switch (buffers + fabric).
     pub fn backlog(&self) -> usize {
-        self.fabric.backlog() + self.buffer_live.iter().map(|&b| b as usize).sum::<usize>()
+        self.fabric.backlog() + self.buffered_cells
+    }
+
+    /// Next-activity lookahead; see [`BufferlessPps::next_activity`]. A
+    /// buffered demultiplexor may release stored cells in *any* slot, so
+    /// the switch steps densely while any input buffer is occupied.
+    pub fn next_activity(&self, now: Slot) -> Option<Slot> {
+        if self.buffered_cells > 0 {
+            return Some(now + 1);
+        }
+        let mut t = self.faults.next_activity();
+        t = earliest(t, self.fabric.next_activity(now));
+        t = earliest(t, self.demux.next_activity(now));
+        t.map(|s| s.max(now + 1))
+    }
+
+    /// Closed-form idle-interval replay; see [`BufferlessPps::skip_idle`].
+    pub fn skip_idle(&mut self, from: Slot, to: Slot) {
+        self.fabric.skip_idle_slots(from, to);
+        self.bus.skip_gap(from, to, &self.fabric, &self.buffer_live);
     }
 
     /// Run a whole trace to completion (arrivals plus drain).
@@ -585,6 +699,23 @@ impl<D: BufferedDemultiplexor> BufferedPps<D> {
             now += 1;
             if now > cap {
                 break;
+            }
+            if self.stepping == Stepping::SkipAhead && (next < cells.len() || self.backlog() > 0) {
+                let next_arrival = cells.get(next).map(|c| c.arrival);
+                if next_arrival != Some(now) {
+                    let mut target = next_arrival.unwrap_or(Slot::MAX);
+                    if let Some(t) = self.next_activity(now - 1) {
+                        target = target.min(t);
+                    }
+                    let stop = target.min(cap + 1);
+                    if stop > now {
+                        self.skip_idle(now, stop - 1);
+                        now = stop;
+                        if now > cap {
+                            break;
+                        }
+                    }
+                }
             }
         }
         Ok(PpsRun {

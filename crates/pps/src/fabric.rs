@@ -272,6 +272,49 @@ impl Fabric {
         self.active_list.truncate(write);
     }
 
+    /// The next slot strictly after `now` at which the fabric does
+    /// something beyond per-slot stall accounting: a plane-service event
+    /// comes due, an output emits, or a resequencer watchdog fires. `None`
+    /// means the fabric is inert until new cells are dispatched into it.
+    ///
+    /// Skip-ahead stepping jumps `now` to the minimum of this and the
+    /// other components' activity, replaying the gap through
+    /// [`skip_idle_slots`](Self::skip_idle_slots).
+    pub fn next_activity(&self, now: Slot) -> Option<Slot> {
+        // Stale agenda entries (drained queues, busy lines) are legitimate
+        // activity: the dense loop pops them at exactly this slot, so the
+        // skip must stop there too to keep the heap evolution identical.
+        let mut min = self
+            .agenda
+            .peek()
+            .map(|&Reverse((at, _, _))| at.max(now + 1));
+        if min == Some(now + 1) {
+            return min;
+        }
+        for idx in 0..self.active_list.len() {
+            let mux = &self.outputs[self.active_list[idx] as usize];
+            if let Some(at) = mux.next_activity(now) {
+                min = Some(min.map_or(at, |m| m.min(at)));
+                if min == Some(now + 1) {
+                    break;
+                }
+            }
+        }
+        min
+    }
+
+    /// Replay the dense loop's effects over the skipped interval
+    /// `[from, to]` in closed form: meter the slots as skipped and account
+    /// the stall exposure of every active output. Valid only for intervals
+    /// in which [`next_activity`](Self::next_activity) reported nothing due.
+    pub fn skip_idle_slots(&mut self, from: Slot, to: Slot) {
+        pps_core::perf::record_skipped(to - from + 1);
+        for idx in 0..self.active_list.len() {
+            let j = self.active_list[idx] as usize;
+            self.outputs[j].skip_idle(from, to);
+        }
+    }
+
     /// Total cells emitted by the output multiplexors so far — the
     /// departure side of the conservation ledger.
     pub fn departed(&self) -> u64 {

@@ -8,7 +8,7 @@
 //! and after a workload and take the difference. The counter is
 //! cumulative and monotonic; it is never reset.
 
-pub use pps_core::perf::slots_simulated;
+pub use pps_core::perf::{slots_simulated, slots_skipped};
 
 #[cfg(test)]
 mod tests {

@@ -77,6 +77,14 @@ impl ShadowOq {
         self.queues.iter().map(|q| q.len()).sum()
     }
 
+    /// The next slot strictly after `now` at which the switch does
+    /// anything, ignoring future arrivals. An OQ switch is work-conserving
+    /// — any backlog emits next slot — and an empty one is a pure no-op
+    /// until a cell arrives, so this is `now + 1` or nothing.
+    pub fn next_activity(&self, now: Slot) -> Option<Slot> {
+        (self.backlog() > 0).then(|| now + 1)
+    }
+
     /// Cells queued for a specific output.
     pub fn backlog_at(&self, output: usize) -> usize {
         self.queues[output].len()
@@ -95,8 +103,16 @@ impl ShadowOq {
 }
 
 /// Run a trace through a fresh OQ switch until every cell departs; returns
-/// the per-cell log.
+/// the per-cell log. Uses the process-default stepping mode.
 pub fn run_oq(trace: &Trace, n: usize) -> RunLog {
+    run_oq_stepped(trace, n, pps_core::stepping::process_default())
+}
+
+/// [`run_oq`] with an explicit stepping mode. Both modes produce identical
+/// logs: an empty OQ switch is a pure no-op between arrivals (it records
+/// no telemetry and meters no slots), so skip-ahead simply jumps the idle
+/// stretches.
+pub fn run_oq_stepped(trace: &Trace, n: usize, mode: pps_core::Stepping) -> RunLog {
     let cells = trace.cells(n);
     let mut log = RunLog::with_cells(&cells);
     let mut oq = ShadowOq::new(n);
@@ -111,6 +127,9 @@ pub fn run_oq(trace: &Trace, n: usize) -> RunLog {
         }
         oq.slot(now, &scratch, &mut log);
         now += 1;
+        if mode == pps_core::Stepping::SkipAhead && next < cells.len() && oq.backlog() == 0 {
+            now = now.max(cells[next].arrival);
+        }
     }
     log
 }
