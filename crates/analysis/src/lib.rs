@@ -29,7 +29,7 @@ pub use degradation::{fault_impact, FaultImpact};
 pub use distribution::{relative_delays, Histogram, Percentiles};
 pub use lockstep::{
     compare_buffered, compare_buffered_faulted, compare_bufferless, compare_bufferless_faulted,
-    Comparison,
+    compare_bufferless_intra, Comparison,
 };
 pub use metrics::{flow_jitters, RelativeDelay};
 pub use plot::AsciiChart;

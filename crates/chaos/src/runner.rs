@@ -49,6 +49,10 @@ pub struct RunOpts {
     /// draw it from its seed ([`ChaosCase::stepping`]). Used by the
     /// dense/skip equivalence tests; `None` in normal campaigns.
     pub force_stepping: Option<Stepping>,
+    /// Pin the engine's intra-run shard count instead of letting the case
+    /// draw it from its seed ([`ChaosCase::intra_jobs`]). Used by the
+    /// sharded/serial equivalence tests; `None` in normal campaigns.
+    pub force_intra_jobs: Option<usize>,
 }
 
 /// How a failed case failed — the signature the shrinker preserves.
@@ -120,18 +124,20 @@ enum EngineUnderTest {
 }
 
 impl EngineUnderTest {
-    fn build(case: &ChaosCase) -> Result<Self, ModelError> {
+    fn build(case: &ChaosCase, intra_jobs: usize) -> Result<Self, ModelError> {
         let cfg = case.config();
         let plan = Arc::new(case.plan.clone());
         if case.buffer == 0 {
             let demux = FuzzDemux::build(case.demux, case.n, case.k, case.r_prime, case.seed);
             let mut e = BufferlessPps::new(cfg, demux)?;
             e.set_fault_plan_shared(plan)?;
+            e.set_intra_jobs(intra_jobs);
             Ok(EngineUnderTest::Bufferless(e))
         } else {
             let demux = BufferedRoundRobinDemux::new(case.n, case.k);
             let mut e = BufferedPps::new(cfg, demux)?;
             e.set_fault_plan_shared(plan)?;
+            e.set_intra_jobs(intra_jobs);
             Ok(EngineUnderTest::Buffered(e))
         }
     }
@@ -258,7 +264,8 @@ fn lockstep(case: &ChaosCase, opts: RunOpts, cells: &[Cell]) -> (CaseOutcome, Ru
     let mut xbar_log = RunLog::with_cells(cells);
     let mut cioq_log = RunLog::with_cells(cells);
 
-    let mut engine = match EngineUnderTest::build(case) {
+    let intra_jobs = opts.force_intra_jobs.unwrap_or_else(|| case.intra_jobs());
+    let mut engine = match EngineUnderTest::build(case, intra_jobs) {
         Ok(e) => e,
         Err(e) => {
             outcome.engine_error = Some((0, e.to_string()));

@@ -209,11 +209,32 @@ pub trait BufferedDemultiplexor: Send {
     /// The next slot strictly after `now` at which this automaton needs a
     /// [`slot_decision`](Self::slot_decision) call even without an arrival
     /// or buffered cell, or `None` if it is quiescent until then. See
-    /// [`Demultiplexor::next_activity`]; the engine already forces dense
-    /// stepping while any input buffer is non-empty, so only time-aging
-    /// state needs reporting here.
+    /// [`Demultiplexor::next_activity`]; buffer-driven wake-ups are
+    /// reported separately via
+    /// [`buffered_next_activity`](Self::buffered_next_activity), so only
+    /// time-aging state (timers, decaying counters) needs reporting here.
     fn next_activity(&self, _now: Slot) -> Option<Slot> {
         None
+    }
+
+    /// The next slot strictly after `local.now` at which this automaton
+    /// might *act on* the buffered head cell `head` of `input` — release
+    /// it, or mutate per-input state because of it. Skip-ahead engines
+    /// fold this over every non-empty input buffer to size a jump; waking
+    /// *early* is always safe (the dense walk would have made a hold
+    /// decision and changed nothing), waking late past an acting slot is
+    /// not. The conservative default, `now + 1`, forces dense stepping
+    /// while the buffer is non-empty — exactly the pre-skip-ahead
+    /// behavior — so implementations only override it when they can bound
+    /// their next release (e.g. a hold-for-`u`-slots rule).
+    fn buffered_next_activity(
+        &self,
+        input: PortId,
+        head: &Cell,
+        local: &LocalView<'_>,
+    ) -> Option<Slot> {
+        let _ = (input, head);
+        Some(local.now + 1)
     }
 
     /// Return the automaton to its initial configuration.

@@ -84,6 +84,17 @@ pub fn earliest(
     }
 }
 
+/// Fold any number of optional next-activity slots into the earliest one —
+/// the min-reduce a sharded fabric performs over its per-shard agendas to
+/// size a joint skip-ahead jump window (every shard must be willing to
+/// sleep through the whole gap).
+#[inline]
+pub fn earliest_of(
+    items: impl IntoIterator<Item = Option<crate::time::Slot>>,
+) -> Option<crate::time::Slot> {
+    items.into_iter().fold(None, earliest)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,5 +114,12 @@ mod tests {
         assert_eq!(earliest(Some(3), None), Some(3));
         assert_eq!(earliest(None, Some(7)), Some(7));
         assert_eq!(earliest(Some(9), Some(7)), Some(7));
+    }
+
+    #[test]
+    fn earliest_of_reduces_iterators() {
+        assert_eq!(earliest_of([]), None);
+        assert_eq!(earliest_of([None, None]), None);
+        assert_eq!(earliest_of([None, Some(5), Some(2), None]), Some(2));
     }
 }

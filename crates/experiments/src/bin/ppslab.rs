@@ -9,6 +9,7 @@
 //! ppslab --out results/   # also write every table as CSV into results/
 //! ppslab perf        # quick simulator-throughput summary
 //! ppslab --jobs 4    # worker budget (default: available parallelism; 1 = serial)
+//! ppslab --intra-jobs 4     # shard each run's planes/outputs (default: 1 = serial fabric)
 //! ppslab --stepping dense   # force the dense slot loop (default: skip-ahead)
 //! ppslab --parallel  # deprecated no-op (the default is already parallel; use --jobs)
 //! ppslab --bench-json BENCH_experiments.json   # record wall-clock + slots/sec
@@ -68,8 +69,8 @@ fn perf() {
 }
 
 /// Per-experiment benchmark record:
-/// `(id, wall seconds, simulated slots, skipped slots)`.
-type BenchEntry = (&'static str, f64, u64, u64);
+/// `(id, wall seconds, simulated slots, skipped slots, intra merge nanos)`.
+type BenchEntry = (&'static str, f64, u64, u64, u64);
 
 /// Serialize the benchmark records by hand (two levels of objects — not
 /// worth a JSON dependency).
@@ -78,12 +79,16 @@ fn bench_json(jobs: usize, total_seconds: f64, entries: &[BenchEntry]) -> String
     out.push_str("  \"suite\": \"ppslab\",\n");
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
     out.push_str(&format!(
+        "  \"intra_jobs\": {},\n",
+        pps_core::workers::intra_jobs()
+    ));
+    out.push_str(&format!(
         "  \"stepping\": \"{}\",\n",
         pps_core::stepping::process_default().name()
     ));
     out.push_str(&format!("  \"total_wall_seconds\": {total_seconds:.3},\n"));
     out.push_str("  \"experiments\": [\n");
-    for (i, (id, secs, slots, skipped)) in entries.iter().enumerate() {
+    for (i, (id, secs, slots, skipped, merge_nanos)) in entries.iter().enumerate() {
         let rate = if *secs > 0.0 {
             *slots as f64 / secs
         } else {
@@ -91,7 +96,8 @@ fn bench_json(jobs: usize, total_seconds: f64, entries: &[BenchEntry]) -> String
         };
         out.push_str(&format!(
             "    {{\"id\": \"{id}\", \"wall_seconds\": {secs:.3}, \"slots\": {slots}, \
-             \"slots_skipped\": {skipped}, \"slots_per_sec\": {rate:.0}}}{}\n",
+             \"slots_skipped\": {skipped}, \"slots_per_sec\": {rate:.0}, \
+             \"intra_merge_nanos\": {merge_nanos}}}{}\n",
             if i + 1 < entries.len() { "," } else { "" }
         ));
     }
@@ -190,11 +196,27 @@ fn main() {
         None => std::thread::available_parallelism().map_or(1, usize::from),
     };
     pps_experiments::sweep::set_jobs(jobs);
+    // Intra-run sharding: split each engine's planes and output
+    // resequencers across the same worker budget. Tables and traces are
+    // byte-identical at any value (DESIGN.md §16); the default of 1 keeps
+    // single-fabric runs serial.
+    if let Some(v) = flag_value(&args, "--intra-jobs") {
+        let n: usize = v.parse().unwrap_or_else(|e| {
+            eprintln!("error: --intra-jobs: {e}");
+            std::process::exit(2);
+        });
+        if n == 0 {
+            eprintln!("error: --intra-jobs must be at least 1");
+            std::process::exit(2);
+        }
+        pps_core::workers::set_intra_jobs(n);
+    }
     // Positional args select experiments; skip the values of value-taking
     // flags.
     let value_flags = [
         "--out",
         "--jobs",
+        "--intra-jobs",
         "--bench-json",
         "--telemetry",
         "--trace-out",
@@ -234,6 +256,7 @@ fn main() {
             .map(|(id, runner)| {
                 let slots0 = pps_switch::perf::slots_simulated();
                 let skipped0 = pps_switch::perf::slots_skipped();
+                let merge0 = pps_core::perf::intra_merge_nanos();
                 let start = std::time::Instant::now();
                 let out = if tracing {
                     let (out, log) = pps_core::telemetry::collect(*id, runner);
@@ -248,6 +271,7 @@ fn main() {
                     secs,
                     pps_switch::perf::slots_simulated() - slots0,
                     pps_switch::perf::slots_skipped() - skipped0,
+                    pps_core::perf::intra_merge_nanos() - merge0,
                 ));
                 out
             })

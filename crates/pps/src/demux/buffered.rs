@@ -103,6 +103,26 @@ impl BufferedDemultiplexor for BufferedRoundRobinDemux {
         });
     }
 
+    /// RR acts the moment any of the input's lines frees up: the earliest
+    /// possibly-acting slot is the minimum line `busy_until` (clamped to
+    /// the next slot). Waking then is exact — on every earlier slot all
+    /// lines are busy and `slot_decision` is a state-neutral hold (`next`
+    /// moves only on a successful free-line find).
+    fn buffered_next_activity(
+        &self,
+        _input: PortId,
+        _head: &Cell,
+        local: &LocalView<'_>,
+    ) -> Option<Slot> {
+        let earliest_free = local
+            .link_busy_until
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(local.now + 1);
+        Some(earliest_free.max(local.now + 1))
+    }
+
     fn reset(&mut self) {
         self.next.fill(0);
     }
@@ -225,6 +245,19 @@ impl BufferedDemultiplexor for DelayedCpaDemux {
         out.arrival = arrival.map(|_| ArrivalAction::Enqueue);
     }
 
+    /// Delayed CPA touches a buffered cell only when it ripens at
+    /// `arrival + u`; every earlier `slot_decision` is a state-neutral
+    /// hold (`assign` runs only on release), so the engine may sleep
+    /// until exactly that slot.
+    fn buffered_next_activity(
+        &self,
+        _input: PortId,
+        head: &Cell,
+        local: &LocalView<'_>,
+    ) -> Option<Slot> {
+        Some((head.arrival + self.u).max(local.now + 1))
+    }
+
     fn reset(&mut self) {
         self.dt_last.fill(None);
         self.last_reserved.fill(None);
@@ -342,6 +375,17 @@ impl BufferedDemultiplexor for BufferedStaleDemux {
         });
     }
 
+    /// The head ripens at `arrival + hold`; until then `slot_decision`
+    /// holds without touching `recent` (`pick` runs only on release).
+    fn buffered_next_activity(
+        &self,
+        _input: PortId,
+        head: &Cell,
+        local: &LocalView<'_>,
+    ) -> Option<Slot> {
+        Some((head.arrival + self.hold).max(local.now + 1))
+    }
+
     fn reset(&mut self) {
         for q in &mut self.recent {
             q.clear();
@@ -436,6 +480,17 @@ impl BufferedDemultiplexor for ArbitratedCrossbarDemux {
             }
         }
         out.arrival = arrival.map(|_| ArrivalAction::Enqueue);
+    }
+
+    /// The grant for the head arrives at `arrival + u`; earlier slots are
+    /// state-neutral holds (`grant` runs only on release).
+    fn buffered_next_activity(
+        &self,
+        _input: PortId,
+        head: &Cell,
+        local: &LocalView<'_>,
+    ) -> Option<Slot> {
+        Some((head.arrival + self.u).max(local.now + 1))
     }
 
     fn reset(&mut self) {

@@ -229,6 +229,13 @@ impl<D: Demultiplexor> BufferlessPps<D> {
         self.stepping = mode;
     }
 
+    /// Override the intra-run shard count (the default is the process-wide
+    /// [`pps_core::workers::set_intra_jobs`] at construction time). Any
+    /// value produces byte-identical runs; see DESIGN.md §16.
+    pub fn set_intra_jobs(&mut self, n: usize) {
+        self.fabric.set_intra_shards(n);
+    }
+
     /// The demultiplexor (e.g. to read algorithm-specific statistics).
     pub fn demux(&self) -> &D {
         &self.demux
@@ -469,6 +476,12 @@ impl<D: BufferedDemultiplexor> BufferedPps<D> {
         self.stepping = mode;
     }
 
+    /// Override the intra-run shard count; see
+    /// [`BufferlessPps::set_intra_jobs`].
+    pub fn set_intra_jobs(&mut self, n: usize) {
+        self.fabric.set_intra_shards(n);
+    }
+
     /// The demultiplexor.
     pub fn demux(&self) -> &D {
         &self.demux
@@ -661,16 +674,33 @@ impl<D: BufferedDemultiplexor> BufferedPps<D> {
         self.fabric.backlog() + self.buffered_cells
     }
 
-    /// Next-activity lookahead; see [`BufferlessPps::next_activity`]. A
-    /// buffered demultiplexor may release stored cells in *any* slot, so
-    /// the switch steps densely while any input buffer is occupied.
+    /// Next-activity lookahead; see [`BufferlessPps::next_activity`].
+    ///
+    /// While input buffers hold cells, each occupied input's wake-up comes
+    /// from the demultiplexor's
+    /// [`buffered_next_activity`](BufferedDemultiplexor::buffered_next_activity)
+    /// for its head cell (conservative default: the very next slot, the
+    /// pre-PR-8 dense behavior) — so hold-for-`u` style algorithms let
+    /// buffered runs skip idle gaps too. Waking early is always safe (the
+    /// dense walk would have decided "hold" and mutated nothing).
     pub fn next_activity(&self, now: Slot) -> Option<Slot> {
-        if self.buffered_cells > 0 {
-            return Some(now + 1);
-        }
         let mut t = self.faults.next_activity();
         t = earliest(t, self.fabric.next_activity(now));
         t = earliest(t, self.demux.next_activity(now));
+        if self.buffered_cells > 0 {
+            for (input, buf) in self.buffers.iter().enumerate() {
+                if t == Some(now + 1) {
+                    break; // cannot get earlier than the next slot
+                }
+                let Some(head) = buf.front() else { continue };
+                let view = self.fabric.local_view(PortId(input as u32), now);
+                t = earliest(
+                    t,
+                    self.demux
+                        .buffered_next_activity(PortId(input as u32), head, &view),
+                );
+            }
+        }
         t.map(|s| s.max(now + 1))
     }
 

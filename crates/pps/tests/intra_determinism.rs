@@ -1,0 +1,167 @@
+//! Intra-run sharding determinism harness (DESIGN.md §16).
+//!
+//! Sharding one run's planes and output resequencers across worker
+//! threads must be an *unobservable* optimization, exactly like
+//! skip-ahead stepping: for the same configuration and trace, the run
+//! log, fabric statistics, end slot and full telemetry trace must be
+//! byte-identical at every `--intra-jobs` value, under both stepping
+//! modes. The only permitted difference is wall clock and the intra
+//! merge-time perf meter.
+
+use std::sync::Mutex;
+
+use pps_core::fault::FaultPlan;
+use pps_core::prelude::*;
+use pps_core::Stepping;
+use pps_switch::demux::{BufferedRoundRobinDemux, RoundRobinDemux};
+use pps_switch::engine::{BufferedPps, BufferlessPps, PpsRun};
+
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+/// Assert two runs are observably identical (log, stats, end slot).
+fn assert_same(a: &PpsRun, b: &PpsRun, what: &str) {
+    assert_eq!(a.log.records(), b.log.records(), "{what}: run logs diverge");
+    assert_eq!(a.stats, b.stats, "{what}: fabric stats diverge");
+    assert_eq!(a.end_slot, b.end_slot, "{what}: end slots diverge");
+}
+
+/// A large-N workload that keeps every shard busy: full-rate bursts that
+/// alternate between concentrating on output 0 (deep resequencer queues,
+/// long active lists) and spreading across all outputs, separated by idle
+/// gaps so skip-ahead stepping has jumps to compose with the shards.
+fn large_trace(n: usize) -> Trace {
+    let mut v = Vec::new();
+    for &(start, len) in &[(0u64, 6u64), (5_000, 4), (20_000, 2)] {
+        for d in 0..len {
+            for i in 0..n as u32 {
+                let j = if (start + d) % 2 == 0 {
+                    0
+                } else {
+                    (i + d as u32) % n as u32
+                };
+                v.push(Arrival::new(start + d, i, j));
+            }
+        }
+    }
+    Trace::build(v, n).expect("trace")
+}
+
+/// Plane-fault pulses force shard-local agendas to drain and re-arm at
+/// different times per shard, exercising the declared-order merge.
+fn plan() -> FaultPlan {
+    FaultPlan::new()
+        .plane_down(1, 3)
+        .plane_up(1, 6_000)
+        .plane_down(5, 21_000)
+        .plane_up(5, 21_500)
+}
+
+fn bufferless_run(n: usize, k: usize, intra: usize, mode: Stepping) -> PpsRun {
+    let cfg = PpsConfig::bufferless(n, k, 2)
+        .with_discipline(OutputDiscipline::GlobalFcfs)
+        .with_watchdog(9);
+    let mut pps = BufferlessPps::new(cfg, RoundRobinDemux::new(n, k)).expect("engine");
+    pps.set_fault_plan(&plan()).expect("plan");
+    pps.set_stepping(mode);
+    pps.set_intra_jobs(intra);
+    pps.run(&large_trace(n)).expect("run")
+}
+
+fn buffered_run(n: usize, k: usize, intra: usize, mode: Stepping) -> PpsRun {
+    let cfg = PpsConfig::buffered(n, k, 2, 4).with_watchdog(9);
+    let mut pps = BufferedPps::new(cfg, BufferedRoundRobinDemux::new(n, k)).expect("engine");
+    pps.set_fault_plan(&plan()).expect("plan");
+    pps.set_stepping(mode);
+    pps.set_intra_jobs(intra);
+    pps.run(&large_trace(n)).expect("run")
+}
+
+/// Tentpole acceptance: a large-N bufferless run is byte-identical at
+/// `--intra-jobs` 1, 2 and 4, under both stepping modes.
+#[test]
+fn bufferless_sharded_equals_serial_both_steppings() {
+    let (n, k) = (128, 8);
+    for mode in [Stepping::Dense, Stepping::SkipAhead] {
+        let serial = bufferless_run(n, k, 1, mode);
+        for intra in [2, 4] {
+            let sharded = bufferless_run(n, k, intra, mode);
+            assert_same(
+                &serial,
+                &sharded,
+                &format!("bufferless/{}/intra{intra}", mode.name()),
+            );
+        }
+    }
+}
+
+/// Buffered engine: input buffers, per-head wake-ups and the sharded
+/// fabric must still reproduce the serial walk exactly.
+#[test]
+fn buffered_sharded_equals_serial_both_steppings() {
+    let (n, k) = (64, 8);
+    for mode in [Stepping::Dense, Stepping::SkipAhead] {
+        let serial = buffered_run(n, k, 1, mode);
+        for intra in [2, 4] {
+            let sharded = buffered_run(n, k, intra, mode);
+            assert_same(
+                &serial,
+                &sharded,
+                &format!("buffered/{}/intra{intra}", mode.name()),
+            );
+        }
+    }
+}
+
+/// Shard counts that do not divide K or N evenly (including more shards
+/// than planes) must clamp and still agree.
+#[test]
+fn ragged_shard_counts_agree() {
+    let (n, k) = (48, 6);
+    let serial = bufferless_run(n, k, 1, Stepping::SkipAhead);
+    for intra in [3, 5, 16] {
+        let sharded = bufferless_run(n, k, intra, Stepping::SkipAhead);
+        assert_same(&serial, &sharded, &format!("ragged/intra{intra}"));
+    }
+}
+
+/// The same byte-identity must hold when shards actually run on spawned
+/// worker threads, not just on the inline fallback path. A widened worker
+/// budget lets `run_sharded` lease threads for the extra bands; results
+/// must not depend on which path executed. (The global budget is shared
+/// with concurrently running tests — harmless, since every test here
+/// asserts equality between runs, not a particular execution strategy.)
+#[test]
+fn threaded_shards_agree_with_serial() {
+    pps_core::workers::set_jobs(8);
+    let serial = bufferless_run(128, 8, 1, Stepping::SkipAhead);
+    let sharded = bufferless_run(128, 8, 4, Stepping::SkipAhead);
+    pps_core::workers::set_jobs(1);
+    assert_same(&serial, &sharded, "threaded/intra4");
+}
+
+/// Full-telemetry golden check: shard-captured events must replay into
+/// the scope ring in exactly the serial order, so the flattened event
+/// stream is identical at any shard count. This is the coverage for the
+/// thread-local shard capture path in `pps_core::telemetry`.
+#[test]
+fn full_telemetry_trace_is_identical_across_intra_jobs() {
+    use pps_core::telemetry::{self, Level};
+    let _lock = TELEMETRY_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    telemetry::set_level(Level::Full);
+    let collect = |intra: usize, mode: Stepping| {
+        telemetry::collect(format!("intra{intra}-{}", mode.name()), || {
+            bufferless_run(96, 8, intra, mode)
+        })
+    };
+    let (serial, serial_log) = collect(1, Stepping::SkipAhead);
+    let (sharded, sharded_log) = collect(4, Stepping::SkipAhead);
+    telemetry::set_level(Level::Off);
+
+    assert_same(&serial, &sharded, "telemetry run");
+    assert!(serial_log.total_events() > 0, "trace recorded nothing");
+    let a: Vec<_> = serial_log.flatten().into_iter().map(|(_, e)| e).collect();
+    let b: Vec<_> = sharded_log.flatten().into_iter().map(|(_, e)| e).collect();
+    assert_eq!(a, b, "telemetry event streams diverge");
+}
