@@ -69,6 +69,149 @@ impl Percentiles {
     }
 }
 
+/// Tail order statistics of a sample — the far-quantile companion to
+/// [`Percentiles`], for the stochastic-workload experiments where the
+/// interesting signal lives at p99/p999 rather than the median.
+///
+/// Quantiles use the lower (type-1) definition on the sorted sample:
+/// `q(f) = v[ceil(f·count) − 1]`, so `p999` of 1000 samples is the 999th
+/// order statistic and a sample of one returns that value for every
+/// quantile.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TailQuantiles {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 99th percentile (exact order statistic).
+    pub p99: i64,
+    /// 99.9th percentile (exact order statistic).
+    pub p999: i64,
+    /// Maximum.
+    pub max: i64,
+}
+
+impl TailQuantiles {
+    /// Compute exact tail quantiles (sorts a copy; `None` for empty input).
+    pub fn from(values: &[i64]) -> Option<TailQuantiles> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v = values.to_vec();
+        v.sort_unstable();
+        Some(TailQuantiles {
+            count: v.len(),
+            mean: v.iter().sum::<i64>() as f64 / v.len() as f64,
+            p99: Self::order_stat(&v, 99, 100),
+            p999: Self::order_stat(&v, 999, 1000),
+            max: *v.last().unwrap(),
+        })
+    }
+
+    /// Lower quantile `num/den` of a sorted sample: `v[ceil(f·n) − 1]`.
+    fn order_stat(sorted: &[i64], num: usize, den: usize) -> i64 {
+        let rank = (sorted.len() * num).div_ceil(den).max(1) - 1;
+        sorted[rank]
+    }
+
+    /// One-line summary for tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={:.2} p99={} p999={} max={}",
+            self.count, self.mean, self.p99, self.p999, self.max
+        )
+    }
+}
+
+/// Streaming log₂-bucketed histogram: O(1) memory however many samples,
+/// quantile estimates exact to within a factor-of-2 bucket.
+///
+/// Bucket `b ≥ 1` holds values with bit-length `b` (i.e. `2^(b−1) ≤ v <
+/// 2^b`); bucket 0 holds zeros and negatives are clamped into bucket 0
+/// (relative delays can be negative when the PPS beats the shadow, and
+/// the tail machinery only cares about the positive side). Quantile
+/// queries return the *upper edge* of the containing bucket — a
+/// conservative (never-underestimating) tail bound, which is the right
+/// direction for checking measured tails against theoretical ceilings.
+/// Use [`TailQuantiles`] when the sample fits in memory and exactness
+/// matters; use this when it doesn't.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Log2Histogram {
+    counts: [u64; 65],
+    total: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            counts: [0; 65],
+            total: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram::default()
+    }
+
+    /// Bucket index of `v`: 0 for `v ≤ 0`, else bit length of `v`.
+    fn bucket(v: i64) -> usize {
+        if v <= 0 {
+            0
+        } else {
+            64 - (v as u64).leading_zeros() as usize
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: i64) {
+        self.counts[Self::bucket(v)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Upper edge of the bucket containing the `num/den` lower quantile
+    /// (`None` on an empty histogram): 0 for bucket 0, else `2^b − 1`.
+    pub fn quantile_upper(&self, num: u64, den: u64) -> Option<i64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = (self.total * num).div_ceil(den).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if b == 0 { 0 } else { ((1u128 << b) - 1) as i64 });
+            }
+        }
+        unreachable!("rank {rank} beyond total {}", self.total)
+    }
+
+    /// Conservative p99 estimate (upper bucket edge).
+    pub fn p99(&self) -> Option<i64> {
+        self.quantile_upper(99, 100)
+    }
+
+    /// Conservative p999 estimate (upper bucket edge).
+    pub fn p999(&self) -> Option<i64> {
+        self.quantile_upper(999, 1000)
+    }
+
+    /// Merge another histogram into this one (for sharded collection).
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
 /// A fixed-bucket histogram over `[min, max]` with an ASCII rendering.
 #[derive(Clone, Debug)]
 pub struct Histogram {
@@ -166,6 +309,97 @@ mod tests {
         let s = h.render(10);
         assert!(s.contains('#'), "{s}");
         assert!(s.lines().count() >= 2);
+    }
+
+    /// Reference lower quantile on a sorted copy, straight from the
+    /// definition — what both TailQuantiles and Log2Histogram are pinned
+    /// against.
+    fn ref_quantile(values: &[i64], num: usize, den: usize) -> i64 {
+        let mut v = values.to_vec();
+        v.sort_unstable();
+        v[(v.len() * num).div_ceil(den).max(1) - 1]
+    }
+
+    #[test]
+    fn tail_quantiles_match_sorted_reference() {
+        // A deliberately lumpy sample: heavy head, thin geometric tail.
+        let mut v: Vec<i64> = Vec::new();
+        for i in 0..10_000i64 {
+            v.push(i % 7);
+        }
+        for i in 0..100i64 {
+            v.push(100 + i * i);
+        }
+        let t = TailQuantiles::from(&v).unwrap();
+        assert_eq!(t.p99, ref_quantile(&v, 99, 100));
+        assert_eq!(t.p999, ref_quantile(&v, 999, 1000));
+        assert_eq!(t.max, *v.iter().max().unwrap());
+        assert_eq!(t.count, v.len());
+    }
+
+    #[test]
+    fn tail_quantiles_exact_ranks_on_round_sizes() {
+        // 1000 distinct values 1..=1000: p99 is the 990th order statistic,
+        // p999 the 999th.
+        let v: Vec<i64> = (1..=1000).collect();
+        let t = TailQuantiles::from(&v).unwrap();
+        assert_eq!(t.p99, 990);
+        assert_eq!(t.p999, 999);
+        assert_eq!(t.max, 1000);
+        // Degenerate single sample: every quantile is the value.
+        let one = TailQuantiles::from(&[42]).unwrap();
+        assert_eq!((one.p99, one.p999, one.max), (42, 42, 42));
+        assert!(TailQuantiles::from(&[]).is_none());
+    }
+
+    #[test]
+    fn log2_histogram_brackets_the_exact_quantile() {
+        let mut v: Vec<i64> = Vec::new();
+        for i in 0..5000i64 {
+            v.push((i * i) % 1000);
+        }
+        for i in 0..50i64 {
+            v.push(1 << (i % 14));
+        }
+        let mut h = Log2Histogram::new();
+        for &x in &v {
+            h.record(x);
+        }
+        assert_eq!(h.count(), v.len() as u64);
+        for (num, den) in [(50, 100), (99, 100), (999, 1000)] {
+            let exact = ref_quantile(&v, num, den).max(0);
+            let est = h.quantile_upper(num as u64, den as u64).unwrap();
+            assert!(
+                est >= exact,
+                "{num}/{den}: upper edge {est} < exact {exact}"
+            );
+            // Within one power of two: upper edge < 2·exact (for exact ≥ 1).
+            if exact >= 1 {
+                assert!(
+                    est < exact * 2,
+                    "{num}/{den}: {est} not within 2x of {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn log2_histogram_edges_and_merge() {
+        let mut h = Log2Histogram::new();
+        assert!(h.p99().is_none());
+        for v in [-5, 0, 1, 2, 3, 4] {
+            h.record(v);
+        }
+        // Buckets: 0 → {-5, 0}, 1 → {1}, 2 → {2, 3}, 3 → {4}.
+        assert_eq!(h.quantile_upper(1, 6).unwrap(), 0);
+        assert_eq!(h.quantile_upper(3, 6).unwrap(), 1);
+        assert_eq!(h.quantile_upper(5, 6).unwrap(), 3);
+        assert_eq!(h.p999().unwrap(), 7);
+        let mut other = Log2Histogram::new();
+        other.record(1 << 20);
+        h.merge(&other);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.p999().unwrap(), (1 << 21) - 1);
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Workload-generator throughput benches (`workload_gen` group, gated in
+//! CI via BENCH_baselines.json): the stochastic engine's promise is that
+//! generation is allocation-lean and O(cells), so drawing from a
+//! million-flow Zipf population, stepping the MMPP modulator, and
+//! replaying a recorded trace must all stay cheap relative to the
+//! simulation they feed.
+//!
+//! * `zipf_draw` — raw rejection-inversion rank draws over a 2²⁰-flow
+//!   population (the O(1)-per-draw claim, no per-rank tables);
+//! * `mmpp_step` — full materialization of a Markov-modulated stream,
+//!   segment extension and gap draws included;
+//! * `replay` — tiling a recorded trace through the `ArrivalStream`
+//!   skip-ahead walk (cursor arithmetic, no re-parsing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pps_workload::{
+    materialize, MmppGen, Phase, ReplayStream, SplitMix64, UniformGen, ZipfSampler,
+};
+
+/// Rank draws per iteration of the `zipf_draw` bench.
+const DRAWS: u64 = 10_000;
+
+fn bench_zipf_draw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_gen");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(DRAWS));
+    for s_hundredths in [100u64, 120] {
+        let sampler = ZipfSampler::new(1 << 20, s_hundredths as f64 / 100.0);
+        g.bench_with_input(
+            BenchmarkId::new("zipf_draw", format!("s{s_hundredths}")),
+            &sampler,
+            |b, z| {
+                b.iter(|| {
+                    let mut rng = SplitMix64::new(7);
+                    let mut acc = 0u64;
+                    for _ in 0..DRAWS {
+                        acc = acc.wrapping_add(z.sample(&mut rng));
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_mmpp_step(c: &mut Criterion) {
+    let horizon = 50_000u64;
+    let calm = Phase {
+        arrival_p: 0.05,
+        exit_p: 0.01,
+    };
+    let burst = Phase {
+        arrival_p: 0.9,
+        exit_p: 0.05,
+    };
+    let mut g = c.benchmark_group("workload_gen");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(horizon));
+    for n in [8usize, 32] {
+        g.bench_with_input(
+            BenchmarkId::new("mmpp_step", format!("n{n}")),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut gen = MmppGen::new(11, n, calm, burst);
+                    black_box(materialize(&mut gen, horizon).len())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let n = 16usize;
+    // A recorded source trace of ~16k cells, tiled eight times.
+    let source = materialize(&mut UniformGen::new(3, n, 0.5), 2_000);
+    let repeat = 8u64;
+    let mut g = c.benchmark_group("workload_gen");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(source.len() as u64 * repeat));
+    g.bench_with_input(
+        BenchmarkId::new("replay", format!("x{repeat}")),
+        &source,
+        |b, t| {
+            b.iter(|| {
+                let mut gen = ReplayStream::repeated(t, n, repeat);
+                black_box(materialize(&mut gen, u64::MAX).len())
+            })
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(workload_gen, bench_zipf_draw, bench_mmpp_step, bench_replay);
+criterion_main!(workload_gen);

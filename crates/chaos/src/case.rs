@@ -11,8 +11,14 @@ use pps_core::fault::FaultPlan;
 use pps_core::time::Slot;
 use pps_core::{BufferSpec, OutputDiscipline, PpsConfig, Trace};
 use pps_traffic::gen::{BernoulliGen, OnOffGen, TrafficPattern};
+use pps_workload::{materialize, MmppGen, Phase, ZipfGen};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// MMPP modulator dwell parameters: mean calm stretch of 50 slots, mean
+/// burst of 12.5 — several regime flips inside even a short chaos horizon.
+const MMPP_CALM_EXIT: f64 = 0.02;
+const MMPP_BURST_EXIT: f64 = 0.08;
 
 /// Which demultiplexor the case drives the PPS with.
 ///
@@ -81,6 +87,28 @@ pub enum TrafficChoice {
         /// Destination pattern.
         pattern: TrafficPattern,
     },
+    /// Zipf-skewed flow population (`pps-workload`): destinations are a
+    /// hash of the flow id, so elephant flows become hot outputs.
+    Zipf {
+        /// Zipf exponent `s`, in hundredths (fixed-point for `Eq`).
+        s_hundredths: u32,
+        /// Flow population size.
+        flows: u64,
+        /// Flow→output hash salt. Derived from the *master* seed, not the
+        /// case seed, so every Zipf case of a campaign shares one flow
+        /// universe: the same flow ids recur case after case and land on
+        /// the same outputs, stressing `SeqRing` recycling with histories
+        /// no single case produces.
+        salt: u64,
+    },
+    /// Markov-modulated Bernoulli arrivals with a shared two-state burst
+    /// modulator (`pps-workload`): bursts correlated across all inputs.
+    Mmpp {
+        /// Calm-phase per-slot arrival probability, in thousandths.
+        calm_millis: u32,
+        /// Burst-phase per-slot arrival probability, in thousandths.
+        burst_millis: u32,
+    },
 }
 
 impl TrafficChoice {
@@ -89,23 +117,31 @@ impl TrafficChoice {
         match self {
             TrafficChoice::Bernoulli { .. } => "bern",
             TrafficChoice::OnOff { .. } => "onoff",
+            TrafficChoice::Zipf { .. } => "zipf",
+            TrafficChoice::Mmpp { .. } => "mmpp",
         }
     }
 
-    fn pattern(&self) -> &TrafficPattern {
+    fn pattern(&self) -> Option<&TrafficPattern> {
         match self {
-            TrafficChoice::Bernoulli { pattern } => pattern,
-            TrafficChoice::OnOff { pattern, .. } => pattern,
+            TrafficChoice::Bernoulli { pattern } => Some(pattern),
+            TrafficChoice::OnOff { pattern, .. } => Some(pattern),
+            TrafficChoice::Zipf { .. } | TrafficChoice::Mmpp { .. } => None,
         }
     }
 
     /// Pattern name for report lines.
     pub fn pattern_name(&self) -> &'static str {
         match self.pattern() {
-            TrafficPattern::Uniform => "uniform",
-            TrafficPattern::Hotspot { .. } => "hotspot",
-            TrafficPattern::Permutation(_) => "rotation",
-            TrafficPattern::Diagonal => "diagonal",
+            Some(TrafficPattern::Uniform) => "uniform",
+            Some(TrafficPattern::Hotspot { .. }) => "hotspot",
+            Some(TrafficPattern::Permutation(_)) => "rotation",
+            Some(TrafficPattern::Diagonal) => "diagonal",
+            // Stochastic generators pick destinations themselves.
+            None => match self {
+                TrafficChoice::Zipf { .. } => "flow-hash",
+                _ => "modulated",
+            },
         }
     }
 }
@@ -250,6 +286,30 @@ impl ChaosCase {
             TrafficChoice::Bernoulli { pattern }
         };
 
+        // 7. Stochastic upgrade. A seed-derived hash — the same idiom as
+        //    [`stepping`](Self::stepping)/[`intra_jobs`](Self::intra_jobs),
+        //    *not* a fresh RNG draw, so the draw order above is untouched —
+        //    swaps the classic generator for a pps-workload stochastic one
+        //    in a quarter of cases: an eighth Zipf flow populations, an
+        //    eighth correlated MMPP bursts. Parameters are further pure
+        //    hashes of the case seed; the Zipf flow→output salt hashes the
+        //    *master* seed, so every Zipf case of a campaign replays the
+        //    same flow universe (cross-case flow-id reuse — consecutive
+        //    cases keep returning to the same hot resequencer rings).
+        let h = case_seed(seed, 0x570C_4A57);
+        let traffic = match h >> 61 {
+            0 => TrafficChoice::Zipf {
+                s_hundredths: 80 + ((h >> 8) % 51) as u32,
+                flows: if (h >> 16) & 1 == 0 { 1 << 16 } else { 1 << 20 },
+                salt: case_seed(master ^ 0xF10E_5A17_C0DE_0B0E, 0),
+            },
+            1 => TrafficChoice::Mmpp {
+                calm_millis: 50 + ((h >> 8) % 200) as u32,
+                burst_millis: 800 + ((h >> 24) % 151) as u32,
+            },
+            _ => traffic,
+        };
+
         ChaosCase {
             index,
             seed,
@@ -307,6 +367,39 @@ impl ChaosCase {
                 seed: self.seed ^ 0xA5A5_5A5A_0F0F_F0F0,
             }
             .trace(self.n, self.horizon),
+            TrafficChoice::Zipf {
+                s_hundredths,
+                flows,
+                salt,
+            } => {
+                let mut g = ZipfGen::new(
+                    self.seed ^ 0xA5A5_5A5A_0F0F_F0F0,
+                    self.n,
+                    load,
+                    f64::from(*s_hundredths) / 100.0,
+                    *flows,
+                )
+                .with_flow_salt(*salt);
+                materialize(&mut g, self.horizon)
+            }
+            TrafficChoice::Mmpp {
+                calm_millis,
+                burst_millis,
+            } => {
+                let mut g = MmppGen::new(
+                    self.seed ^ 0xA5A5_5A5A_0F0F_F0F0,
+                    self.n,
+                    Phase {
+                        arrival_p: f64::from(*calm_millis) / 1000.0,
+                        exit_p: MMPP_CALM_EXIT,
+                    },
+                    Phase {
+                        arrival_p: f64::from(*burst_millis) / 1000.0,
+                        exit_p: MMPP_BURST_EXIT,
+                    },
+                );
+                materialize(&mut g, self.horizon)
+            }
         };
         match self.truncate_at {
             None => full,
@@ -482,14 +575,87 @@ mod tests {
     fn hotspot_loads_stay_admissible() {
         for i in 0..256 {
             let case = ChaosCase::generate(1234, i, 128);
-            if let TrafficPattern::Hotspot { hot, .. } = match &case.traffic {
-                TrafficChoice::Bernoulli { pattern } => pattern.clone(),
-                TrafficChoice::OnOff { pattern, .. } => pattern.clone(),
-            } {
+            if let Some(TrafficPattern::Hotspot { hot, .. }) = case.traffic.pattern() {
                 let rho = f64::from(case.load_millis) / 1000.0;
                 let aggregate = case.n as f64 * rho * hot + rho * (1.0 - hot);
                 assert!(aggregate <= 0.96, "case {i}: hot output oversubscribed");
             }
         }
+    }
+
+    #[test]
+    fn stochastic_upgrade_mixes_families() {
+        // The seed-hash upgrade should leave the classic generators in the
+        // majority while both stochastic families appear; expected split is
+        // 6/8 classic, 1/8 each Zipf/MMPP.
+        let mut seen = std::collections::HashMap::new();
+        for i in 0..512 {
+            let case = ChaosCase::generate(42, i, 64);
+            *seen.entry(case.traffic.name()).or_insert(0usize) += 1;
+        }
+        assert!(seen.get("zipf").copied().unwrap_or(0) > 20, "{seen:?}");
+        assert!(seen.get("mmpp").copied().unwrap_or(0) > 20, "{seen:?}");
+        let classic =
+            seen.get("bern").copied().unwrap_or(0) + seen.get("onoff").copied().unwrap_or(0);
+        assert!(classic > 256, "classic generators crowded out: {seen:?}");
+    }
+
+    #[test]
+    fn zipf_cases_share_one_flow_universe() {
+        // Every Zipf case of a campaign carries the same master-derived
+        // salt (cross-case flow-id reuse); a different master moves it.
+        let salts: Vec<u64> = (0..512)
+            .filter_map(|i| match ChaosCase::generate(42, i, 64).traffic {
+                TrafficChoice::Zipf { salt, .. } => Some(salt),
+                _ => None,
+            })
+            .collect();
+        assert!(salts.len() > 20, "too few Zipf cases: {}", salts.len());
+        assert!(salts.windows(2).all(|w| w[0] == w[1]));
+        let other = (0..512)
+            .filter_map(|i| match ChaosCase::generate(43, i, 64).traffic {
+                TrafficChoice::Zipf { salt, .. } => Some(salt),
+                _ => None,
+            })
+            .next()
+            .unwrap();
+        assert_ne!(salts[0], other);
+    }
+
+    #[test]
+    fn stochastic_traces_are_deterministic_and_truncate() {
+        let mut found = (false, false);
+        for i in 0..512 {
+            let mut case = ChaosCase::generate(9, i, 256);
+            let fresh = match case.traffic {
+                TrafficChoice::Zipf { .. } => {
+                    found.0 = true;
+                    true
+                }
+                TrafficChoice::Mmpp { .. } => {
+                    found.1 = true;
+                    true
+                }
+                _ => false,
+            };
+            if !fresh {
+                continue;
+            }
+            let full = case.trace();
+            assert_eq!(full.arrivals(), case.trace().arrivals());
+            case.truncate_at = Some(64);
+            let cut = case.trace();
+            let expect: Vec<_> = full
+                .arrivals()
+                .iter()
+                .copied()
+                .filter(|a| a.slot <= 64)
+                .collect();
+            assert_eq!(cut.arrivals(), expect.as_slice());
+            if found.0 && found.1 {
+                return;
+            }
+        }
+        panic!("corpus produced no stochastic case: {found:?}");
     }
 }

@@ -452,6 +452,34 @@ mod tests {
     }
 
     #[test]
+    fn stochastic_cases_run_clean() {
+        // One Zipf and one MMPP case, fault-free so every oracle that can
+        // be armed is armed, each through the full four-engine lockstep.
+        use crate::case::TrafficChoice;
+        let mut ran = (false, false);
+        for i in 0..512 {
+            let case = ChaosCase::generate(1337, i, 96);
+            if !case.plan.is_empty() {
+                continue;
+            }
+            let slot = match case.traffic {
+                TrafficChoice::Zipf { .. } if !ran.0 => &mut ran.0,
+                TrafficChoice::Mmpp { .. } if !ran.1 => &mut ran.1,
+                _ => continue,
+            };
+            *slot = true;
+            let out = run_case(&case, RunOpts::default());
+            assert_eq!(out.engine_error, None, "case {i}");
+            assert!(out.violations.is_empty(), "case {i}: {:?}", out.violations);
+            assert!(out.cells > 0, "case {i} generated no cells");
+            if ran.0 && ran.1 {
+                return;
+            }
+        }
+        panic!("corpus lacked fault-free stochastic cases: {ran:?}");
+    }
+
+    #[test]
     fn injected_leak_trips_conservation() {
         // The leak hook fires in the plane-failure flush path, so it needs
         // a case whose downed plane holds cells at the failure slot — scan

@@ -17,6 +17,8 @@
 //! ppslab --telemetry full --trace-out trace.json e3   # Perfetto-loadable trace
 //! ppslab custom --n 32 --k 8 --rprime 4 --algo rr --workload attack
 //! ppslab chaos --seed 42 --cases 256 --budget-slots 256   # fuzz with oracles
+//! ppslab --workload "zipf:n=16,load=0.85,s=1.1,seed=7"   # stochastic tail report
+//! ppslab --workload "mmpp:n=8" --workload-k 8 --workload-rprime 4
 //! ```
 //!
 //! Whatever `--jobs` says, the printed tables are byte-identical: the sweep
@@ -211,6 +213,30 @@ fn main() {
         }
         pps_core::workers::set_intra_jobs(n);
     }
+    // Standalone workload report: materialize the spec and print its
+    // tail-delay table across the information classes. Parsed after the
+    // stepping/jobs knobs so `--stepping dense --workload ...` exercises
+    // the dense path (the report is byte-identical either way).
+    if let Some(spec) = flag_value(&args, "--workload") {
+        let parse_dim = |flag: &str, default: usize| -> usize {
+            flag_value(&args, flag).map_or(default, |v| {
+                v.parse().unwrap_or_else(|e| {
+                    eprintln!("error: {flag}: {e}");
+                    std::process::exit(2);
+                })
+            })
+        };
+        let k = parse_dim("--workload-k", 8);
+        let r_prime = parse_dim("--workload-rprime", 4);
+        match pps_experiments::workload_cli::run_workload(spec, k, r_prime) {
+            Ok(report) => print!("{report}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     // Positional args select experiments; skip the values of value-taking
     // flags.
     let value_flags = [
@@ -221,6 +247,9 @@ fn main() {
         "--telemetry",
         "--trace-out",
         "--stepping",
+        "--workload",
+        "--workload-k",
+        "--workload-rprime",
     ];
     let wanted: Vec<&String> = args
         .iter()

@@ -12,7 +12,11 @@
 //! (minimal static), `ftd[:h]`, `stale:u`, `lll` (local least-loaded),
 //! `hash`, `cpa`. Workloads: `attack` (the concentration attack against
 //! the chosen algorithm), `urt` (the Theorem 10 burst), `bernoulli:LOAD`,
-//! `onoff:LOAD`, `cbr:PERIOD`, `congestion:SENDERS`.
+//! `onoff:LOAD`, `cbr:PERIOD`, `congestion:SENDERS`, plus the seeded
+//! stochastic families of `pps_workload::WorkloadSpec` — `zipf:…`,
+//! `mmpp:…`, `uniform:…`, `shaped:…`, `replay:…` (key=value syntax; `n`
+//! and `horizon` are taken from `--n`/`--slots`, any `n=`/`horizon=`
+//! keys in the spec are rejected here to keep the geometry single-source).
 
 use pps_analysis::{compare_bufferless, Comparison};
 use pps_core::prelude::*;
@@ -182,6 +186,22 @@ fn build_workload(
                 .map_err(|e| format!("cbr period: {e}"))?,
         )
         .trace(n, args.slots),
+        // Seeded stochastic families from pps-workload. Geometry comes
+        // from --n/--slots: they are prepended as spec keys, so a
+        // conflicting n=/horizon= inside the spec body shows up as a
+        // duplicate key and is rejected by the parser.
+        "zipf" | "mmpp" | "uniform" | "shaped" | "replay" => {
+            let body = param.unwrap_or("");
+            let mut full = format!("{name}:n={n}");
+            if name != "replay" {
+                full.push_str(&format!(",horizon={}", args.slots));
+            }
+            if !body.is_empty() {
+                full.push(',');
+                full.push_str(body);
+            }
+            pps_workload::WorkloadSpec::parse(&full)?.trace()?
+        }
         "congestion" => {
             congestion_traffic(
                 n,
@@ -334,6 +354,39 @@ mod tests {
         assert!(run_custom(&strs(&["--bogus", "1"])).is_err());
         assert!(run_custom(&strs(&["--algo", "quantum"])).is_err());
         assert!(run_custom(&strs(&["--algo", "cpa", "--workload", "attack"])).is_err());
+    }
+
+    #[test]
+    fn stochastic_workload_families_run() {
+        for wl in [
+            "zipf:load=0.7,seed=3",
+            "mmpp:calm=0.1,burst=0.8",
+            "uniform:load=0.6",
+            "shaped:load=0.9,num=1,den=2,burst=4",
+        ] {
+            let out = run_custom(&strs(&[
+                "--n",
+                "8",
+                "--k",
+                "8",
+                "--rprime",
+                "2",
+                "--workload",
+                wl,
+                "--slots",
+                "500",
+            ]))
+            .unwrap_or_else(|e| panic!("{wl}: {e}"));
+            assert!(out.contains("relative delay (max)"), "{wl}: {out}");
+        }
+    }
+
+    #[test]
+    fn stochastic_spec_geometry_is_single_source() {
+        // n/horizon come from --n/--slots; a conflicting key in the spec
+        // body is a duplicate and must be rejected, not silently ignored.
+        assert!(run_custom(&strs(&["--workload", "zipf:n=4"])).is_err());
+        assert!(run_custom(&strs(&["--workload", "uniform:horizon=99"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! E19 — average and tail relative delay under stochastic heavy traffic.
+//!
+//! Every experiment before this one drove the switch with a scripted
+//! adversary: the right tool for *lower* bounds, silent about the typical
+//! case. Here three stochastic generator families from `pps-workload` —
+//! Zipf-skewed flows, Markov-modulated (MMPP) bursts, and full-rate
+//! on-off trains — run against one representative of each information
+//! class of the paper's taxonomy:
+//!
+//! * fully distributed — round robin (Theorem 6 regime),
+//! * `u`-RT distributed — stale least-loaded with `u = 2` (Theorem 10),
+//! * centralized — CPA over global FCFS (the zero-relative-delay regime).
+//!
+//! For each `(family, class)` pair we report the mean, p99, p999 and max
+//! relative delay against the shadow OQ switch. The sanity ceiling is the
+//! chaos harness's envelope bound `r'·(N + K + B) + 64` with `B` the
+//! *measured* burstiness of the materialized trace — sound for any
+//! traffic — and the headline observation is the gulf between it and the
+//! measured p999: worst-case inherent delay needs adversarial
+//! coordination that stochastic load, even heavy and bursty, essentially
+//! never produces (the paper's §6 closing point, here quantified in the
+//! tail rather than the max).
+
+use crate::sweep::SweepPlan;
+use crate::ExperimentOutput;
+use pps_analysis::{compare_bufferless, relative_delays, Table, TailQuantiles};
+use pps_core::prelude::*;
+use pps_switch::demux::{CpaDemux, RoundRobinDemux, StaleLeastLoadedDemux};
+use pps_traffic::min_burstiness;
+use pps_workload::WorkloadSpec;
+
+/// Switch geometry shared by every point: `S = K/r' = 2`, the paper's
+/// canonical speedup-2 operating point.
+pub const N: usize = 16;
+/// Center-stage planes.
+pub const K: usize = 8;
+/// Internal slowdown `R/r`.
+pub const R_PRIME: usize = 4;
+
+/// The three generator families under study (name, `--workload` spec).
+pub fn families() -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "zipf",
+            format!("zipf:n={N},load=0.85,s=1.1,flows=1048576,seed=7,horizon=20000"),
+        ),
+        (
+            "mmpp",
+            format!("mmpp:n={N},calm=0.1,burst=0.95,calm_exit=0.02,burst_exit=0.08,seed=7,horizon=20000"),
+        ),
+        (
+            "onoff",
+            format!("onoff:n={N},on=0.03,off=0.15,seed=7,horizon=20000"),
+        ),
+    ]
+}
+
+/// A labeled comparison runner: builds its demux and runs `trace`.
+type ClassRunner = (
+    &'static str,
+    fn(&Trace) -> Result<pps_analysis::Comparison, ModelError>,
+);
+
+/// Information classes: one representative demux per class.
+fn classes() -> Vec<ClassRunner> {
+    vec![
+        ("fully-dist (rr)", |t| {
+            compare_bufferless(
+                PpsConfig::bufferless(N, K, R_PRIME),
+                RoundRobinDemux::new(N, K),
+                t,
+            )
+        }),
+        ("u-RT (stale:2)", |t| {
+            compare_bufferless(
+                PpsConfig::bufferless(N, K, R_PRIME),
+                StaleLeastLoadedDemux::new(N, K, 2),
+                t,
+            )
+        }),
+        ("centralized (cpa)", |t| {
+            compare_bufferless(
+                PpsConfig::bufferless(N, K, R_PRIME).with_discipline(OutputDiscipline::GlobalFcfs),
+                CpaDemux::new(N, K, R_PRIME),
+                t,
+            )
+        }),
+    ]
+}
+
+/// One measured point: tail stats plus bookkeeping for the pass checks.
+#[derive(Clone, Debug)]
+pub struct TailPoint {
+    /// Generator family label.
+    pub family: &'static str,
+    /// Information-class label.
+    pub class: &'static str,
+    /// Cells in the materialized trace.
+    pub cells: usize,
+    /// Measured minimal burstiness of the trace.
+    pub burstiness: u64,
+    /// Relative-delay tail statistics.
+    pub tails: TailQuantiles,
+    /// Cells the PPS failed to deliver (must be 0).
+    pub undelivered: usize,
+}
+
+impl TailPoint {
+    /// The chaos-harness envelope ceiling for this point's traffic.
+    pub fn envelope(&self) -> i64 {
+        ((R_PRIME as u64) * (N as u64 + K as u64 + self.burstiness) + 64) as i64
+    }
+}
+
+/// Measure every `(family, class)` combination.
+pub fn measure() -> Vec<TailPoint> {
+    let fams = families();
+    let cls = classes();
+    let combos: Vec<(usize, usize)> = (0..fams.len())
+        .flat_map(|f| (0..cls.len()).map(move |c| (f, c)))
+        .collect();
+    let plan = SweepPlan::new("e19", combos);
+    plan.run(|pt| {
+        let (f, c) = *pt.params;
+        let spec = WorkloadSpec::parse(&fams[f].1).expect("family spec");
+        let trace = spec.trace().expect("materialize");
+        let b = min_burstiness(&trace, N).overall();
+        let cmp = (cls[c].1)(&trace).expect("run");
+        let rd = cmp.relative_delay();
+        let tails =
+            TailQuantiles::from(&relative_delays(&cmp.pps.log, &cmp.oq)).expect("nonempty trace");
+        TailPoint {
+            family: fams[f].0,
+            class: cls[c].0,
+            cells: trace.len(),
+            burstiness: b,
+            tails,
+            undelivered: rd.pps_undelivered,
+        }
+    })
+}
+
+/// Run the study.
+pub fn run() -> ExperimentOutput {
+    let mut table = Table::new(
+        format!(
+            "Relative-delay tails under stochastic load (N={N}, K={K}, r'={R_PRIME}, S=2; \
+             mean/p99/p999/max vs shadow OQ)"
+        ),
+        &[
+            "family", "class", "cells", "B_min", "mean", "p99", "p999", "max", "envelope",
+        ],
+    );
+    let mut pass = true;
+    let points = measure();
+    for p in &points {
+        // Soundness: everything delivered, tails ordered, and the whole
+        // distribution under the traffic-measured envelope ceiling.
+        pass &= p.undelivered == 0;
+        pass &= p.tails.p99 <= p.tails.p999 && p.tails.p999 <= p.tails.max;
+        pass &= p.tails.max <= p.envelope();
+        // The stochastic tail sits far below the adversarial worst case:
+        // the deterministic fully-distributed bound at this geometry is
+        // (r'−1)(N−1) = 45; even p999 under heavy stochastic load must
+        // not reach it for the distributed classes (the paper's point
+        // that the worst case needs coordination).
+        if p.class.starts_with("fully") {
+            pass &= p.tails.p999 < ((R_PRIME - 1) * (N - 1)) as i64;
+        }
+        table.row_display(&[
+            p.family.to_string(),
+            p.class.to_string(),
+            p.cells.to_string(),
+            p.burstiness.to_string(),
+            format!("{:.2}", p.tails.mean),
+            p.tails.p99.to_string(),
+            p.tails.p999.to_string(),
+            p.tails.max.to_string(),
+            p.envelope().to_string(),
+        ]);
+    }
+    ExperimentOutput {
+        id: "e19",
+        title: "Stochastic heavy traffic — mean and tail relative delay across information classes"
+            .into(),
+        tables: vec![table],
+        notes: vec![
+            "three generator families (Zipf flows, correlated MMPP bursts, full-rate \
+             on-off trains), one representative per information class; every cell \
+             delivered, every distribution under the measured-burstiness envelope"
+                .into(),
+            "the adversarial ceiling (r'-1)(N-1) = 45 for fully-distributed demuxes is \
+             never approached by the stochastic p999 — the worst case needs \
+             coordinated, demux-aware traffic (paper §6)"
+                .into(),
+        ],
+        pass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_run_passes() {
+        assert!(run().pass);
+    }
+
+    #[test]
+    fn all_nine_combinations_are_measured() {
+        let pts = measure();
+        assert_eq!(pts.len(), 9);
+        let zipf_fd = pts
+            .iter()
+            .find(|p| p.family == "zipf" && p.class.starts_with("fully"))
+            .unwrap();
+        assert!(
+            zipf_fd.cells > 100_000,
+            "load 0.85 over 20k slots x 16 inputs"
+        );
+    }
+
+    #[test]
+    fn centralized_class_beats_fully_distributed_in_the_mean() {
+        // CPA tracks the shadow OQ's global FCFS order; its mean relative
+        // delay under stochastic load must not exceed round robin's.
+        let pts = measure();
+        for fam in ["zipf", "mmpp", "onoff"] {
+            let fd = pts
+                .iter()
+                .find(|p| p.family == fam && p.class.starts_with("fully"))
+                .unwrap();
+            let cent = pts
+                .iter()
+                .find(|p| p.family == fam && p.class.starts_with("centralized"))
+                .unwrap();
+            assert!(
+                cent.tails.mean <= fd.tails.mean + 0.5,
+                "{fam}: centralized mean {} vs fully-distributed {}",
+                cent.tails.mean,
+                fd.tails.mean
+            );
+        }
+    }
+}

@@ -27,6 +27,9 @@
 //! | e16 | §4 small-buffer regime — holding without coordination keeps the u-RT bound | [`e16_small_buffers`] |
 //! | e17 | related work — CIOQ crossbar speedup-2 mimicking threshold | [`e17_cioq_speedup`] |
 //! | e18 | §6 — the delay bound as a jitter-regulator buffer bound | [`e18_regulator_tradeoff`] |
+//! | e19 | stochastic heavy traffic — tail relative delay across information classes | [`e19_stochastic_tails`] |
+//! | e20 | heavy-traffic regime — absolute delay diverges, relative delay stays geometric | [`e20_heavy_traffic`] |
+//! | e21 | egress priority queueing — per-class tails, strict priority vs FCFS | [`e21_priority_classes`] |
 //! | a1 | §3 fault-tolerance motivation — plane failure ablation | [`a1_fault`] |
 //! | a2 | CPA speedup threshold ablation (S sweep across 2) | [`a2_speedup`] |
 //! | a3 | output-discipline ablation | [`a3_discipline`] |
@@ -56,7 +59,11 @@ pub mod e15_buffer_implications;
 pub mod e16_small_buffers;
 pub mod e17_cioq_speedup;
 pub mod e18_regulator_tradeoff;
+pub mod e19_stochastic_tails;
+pub mod e20_heavy_traffic;
+pub mod e21_priority_classes;
 pub mod sweep;
+pub mod workload_cli;
 
 use pps_analysis::Table;
 
@@ -149,6 +156,9 @@ pub fn registry() -> Vec<(&'static str, Runner)> {
         ("e16", e16_small_buffers::run),
         ("e17", e17_cioq_speedup::run),
         ("e18", e18_regulator_tradeoff::run),
+        ("e19", e19_stochastic_tails::run),
+        ("e20", e20_heavy_traffic::run),
+        ("e21", e21_priority_classes::run),
         ("a1", a1_fault::run),
         ("a2", a2_speedup::run),
         ("a3", a3_discipline::run),

@@ -12,8 +12,10 @@ use pps_experiments::registry;
 use pps_experiments::sweep::set_jobs;
 
 /// Cheap experiments that still cover both engines, the shadow OQ, the
-/// crossbar baselines, faults, and the watchdog paths.
-const IDS: [&str; 4] = ["e1", "e4", "e9", "e16"];
+/// crossbar baselines, faults, and the watchdog paths — plus the three
+/// stochastic-workload studies (e19–e21), whose acceptance criterion is
+/// exactly this byte-identity across stepping modes and worker budgets.
+const IDS: [&str; 7] = ["e1", "e4", "e9", "e16", "e19", "e20", "e21"];
 
 fn render_all() -> String {
     let mut out = String::new();

@@ -1,0 +1,354 @@
+//! Textual workload specifications — the `--workload` surface.
+//!
+//! A spec is `family:key=value,key=value,…`; unknown keys are errors (a
+//! typoed `laod=` must not silently fall back to a default). Families:
+//!
+//! | family   | keys (defaults)                                                        |
+//! |----------|------------------------------------------------------------------------|
+//! | `zipf`   | `n=8` `load=0.8` `s=1.1` `flows=1048576` `seed=1` `horizon=20000`      |
+//! | `mmpp`   | `n=8` `calm=0.05` `burst=0.9` `calm_exit=0.01` `burst_exit=0.05` `seed=1` `horizon=20000` |
+//! | `onoff`  | `n=8` `on=0.02` `off=0.2` `seed=1` `horizon=20000`                     |
+//! | `uniform`| `n=8` `load=0.8` `seed=1` `horizon=20000`                              |
+//! | `shaped` | `n=8` `load=0.9` `num=3` `den=4` `burst=8` `seed=1` `horizon=20000`    |
+//! | `replay` | `path=<csv>` `n=8` `repeat=1`                                          |
+//!
+//! The spec string is the unit of reproducibility: report it, and anyone
+//! can regenerate the identical trace.
+
+use crate::mmpp::{MmppGen, OnOffBurstGen, Phase};
+use crate::replay::ReplayStream;
+use crate::shaped::{Shaped, UniformGen};
+use crate::stream::{materialize, ArrivalStream, LbContract};
+use crate::zipf::ZipfGen;
+use pps_core::prelude::*;
+
+/// A parsed `--workload` specification; build streams with
+/// [`WorkloadSpec::stream`] or go straight to a trace with
+/// [`WorkloadSpec::trace`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkloadSpec {
+    /// Zipf-flow traffic (`zipf:`).
+    Zipf {
+        /// Switch ports.
+        n: usize,
+        /// Per-input offered load.
+        load: f64,
+        /// Zipf exponent.
+        s: f64,
+        /// Flow-population size.
+        flows: u64,
+        /// Master seed.
+        seed: u64,
+        /// Slots to generate.
+        horizon: Slot,
+    },
+    /// Markov-modulated bursts (`mmpp:`).
+    Mmpp {
+        /// Switch ports.
+        n: usize,
+        /// Calm and burst phase parameters.
+        calm: Phase,
+        /// Burst phase.
+        burst: Phase,
+        /// Master seed.
+        seed: u64,
+        /// Slots to generate.
+        horizon: Slot,
+    },
+    /// Independent on-off trains (`onoff:`).
+    OnOff {
+        /// Switch ports.
+        n: usize,
+        /// Per-slot probability an OFF silence ends.
+        on_p: f64,
+        /// Per-slot probability an ON train ends.
+        off_p: f64,
+        /// Master seed.
+        seed: u64,
+        /// Slots to generate.
+        horizon: Slot,
+    },
+    /// Memoryless uniform traffic (`uniform:`).
+    Uniform {
+        /// Switch ports.
+        n: usize,
+        /// Per-input offered load.
+        load: f64,
+        /// Master seed.
+        seed: u64,
+        /// Slots to generate.
+        horizon: Slot,
+    },
+    /// Leaky-bucket-policed uniform traffic (`shaped:`).
+    Shaped {
+        /// Switch ports.
+        n: usize,
+        /// Per-input offered load of the inner uniform source.
+        load: f64,
+        /// Bucket contract enforced per output.
+        contract: LbContract,
+        /// Master seed.
+        seed: u64,
+        /// Slots to generate.
+        horizon: Slot,
+    },
+    /// CSV trace replay (`replay:`).
+    Replay {
+        /// Path to a `slot,input,output` CSV.
+        path: String,
+        /// Switch ports.
+        n: usize,
+        /// Times to tile the trace end-to-end.
+        repeat: u64,
+    },
+}
+
+fn parse_kvs(body: &str) -> Result<Vec<(&str, &str)>, String> {
+    if body.is_empty() {
+        return Ok(Vec::new());
+    }
+    body.split(',')
+        .map(|kv| {
+            kv.split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {kv:?}"))
+        })
+        .collect()
+}
+
+struct Fields<'a> {
+    kvs: Vec<(&'a str, &'a str)>,
+    family: &'a str,
+}
+
+impl<'a> Fields<'a> {
+    fn take(&mut self, key: &str) -> Option<&'a str> {
+        let i = self.kvs.iter().position(|(k, _)| *k == key)?;
+        Some(self.kvs.remove(i).1)
+    }
+
+    fn num<T: std::str::FromStr>(&mut self, key: &str, default: T) -> Result<T, String> {
+        match self.take(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("{}: bad value for {key}: {v:?}", self.family)),
+        }
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if let Some((k, _)) = self.kvs.first() {
+            return Err(format!("{}: unknown key {k:?}", self.family));
+        }
+        Ok(())
+    }
+}
+
+impl WorkloadSpec {
+    /// Parse `family:key=value,…`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (family, body) = spec.split_once(':').unwrap_or((spec, ""));
+        let mut f = Fields {
+            kvs: parse_kvs(body)?,
+            family,
+        };
+        let parsed = match family {
+            "zipf" => WorkloadSpec::Zipf {
+                n: f.num("n", 8)?,
+                load: f.num("load", 0.8)?,
+                s: f.num("s", 1.1)?,
+                flows: f.num("flows", 1 << 20)?,
+                seed: f.num("seed", 1)?,
+                horizon: f.num("horizon", 20_000)?,
+            },
+            "mmpp" => WorkloadSpec::Mmpp {
+                n: f.num("n", 8)?,
+                calm: Phase {
+                    arrival_p: f.num("calm", 0.05)?,
+                    exit_p: f.num("calm_exit", 0.01)?,
+                },
+                burst: Phase {
+                    arrival_p: f.num("burst", 0.9)?,
+                    exit_p: f.num("burst_exit", 0.05)?,
+                },
+                seed: f.num("seed", 1)?,
+                horizon: f.num("horizon", 20_000)?,
+            },
+            "onoff" => WorkloadSpec::OnOff {
+                n: f.num("n", 8)?,
+                on_p: f.num("on", 0.02)?,
+                off_p: f.num("off", 0.2)?,
+                seed: f.num("seed", 1)?,
+                horizon: f.num("horizon", 20_000)?,
+            },
+            "uniform" => WorkloadSpec::Uniform {
+                n: f.num("n", 8)?,
+                load: f.num("load", 0.8)?,
+                seed: f.num("seed", 1)?,
+                horizon: f.num("horizon", 20_000)?,
+            },
+            "shaped" => WorkloadSpec::Shaped {
+                n: f.num("n", 8)?,
+                load: f.num("load", 0.9)?,
+                contract: LbContract::new(
+                    f.num("num", 3)?,
+                    f.num("den", 4)?,
+                    f.num("burst", 8)?,
+                ),
+                seed: f.num("seed", 1)?,
+                horizon: f.num("horizon", 20_000)?,
+            },
+            "replay" => {
+                let path = f
+                    .take("path")
+                    .ok_or_else(|| "replay: missing required key path=".to_string())?
+                    .to_string();
+                WorkloadSpec::Replay {
+                    path,
+                    n: f.num("n", 8)?,
+                    repeat: f.num("repeat", 1)?,
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown workload family {other:?} (expected zipf|mmpp|onoff|uniform|shaped|replay)"
+                ))
+            }
+        };
+        f.finish()?;
+        Ok(parsed)
+    }
+
+    /// Switch ports the spec targets.
+    pub fn ports(&self) -> usize {
+        match *self {
+            WorkloadSpec::Zipf { n, .. }
+            | WorkloadSpec::Mmpp { n, .. }
+            | WorkloadSpec::OnOff { n, .. }
+            | WorkloadSpec::Uniform { n, .. }
+            | WorkloadSpec::Shaped { n, .. }
+            | WorkloadSpec::Replay { n, .. } => n,
+        }
+    }
+
+    /// The family keyword (for labeling outputs).
+    pub fn family(&self) -> &'static str {
+        match self {
+            WorkloadSpec::Zipf { .. } => "zipf",
+            WorkloadSpec::Mmpp { .. } => "mmpp",
+            WorkloadSpec::OnOff { .. } => "onoff",
+            WorkloadSpec::Uniform { .. } => "uniform",
+            WorkloadSpec::Shaped { .. } => "shaped",
+            WorkloadSpec::Replay { .. } => "replay",
+        }
+    }
+
+    /// Build the stream. `Replay` reads its CSV here — the one fallible
+    /// constructor.
+    pub fn stream(&self) -> Result<Box<dyn ArrivalStream>, String> {
+        Ok(match self {
+            &WorkloadSpec::Zipf {
+                n,
+                load,
+                s,
+                flows,
+                seed,
+                ..
+            } => Box::new(ZipfGen::new(seed, n, load, s, flows)),
+            &WorkloadSpec::Mmpp {
+                n,
+                calm,
+                burst,
+                seed,
+                ..
+            } => Box::new(MmppGen::new(seed, n, calm, burst)),
+            &WorkloadSpec::OnOff {
+                n,
+                on_p,
+                off_p,
+                seed,
+                ..
+            } => Box::new(OnOffBurstGen::new(seed, n, on_p, off_p)),
+            &WorkloadSpec::Uniform { n, load, seed, .. } => {
+                Box::new(UniformGen::new(seed, n, load))
+            }
+            &WorkloadSpec::Shaped {
+                n,
+                load,
+                contract,
+                seed,
+                ..
+            } => Box::new(Shaped::new(UniformGen::new(seed, n, load), contract)),
+            WorkloadSpec::Replay { path, n, repeat } => {
+                let trace = pps_core::trace_io::load(std::path::Path::new(path), *n)
+                    .map_err(|e| format!("replay: {e}"))?;
+                Box::new(ReplayStream::repeated(&trace, *n, *repeat))
+            }
+        })
+    }
+
+    /// Materialize the spec into a trace (replay replays to its own
+    /// horizon; generators run to their `horizon` key).
+    pub fn trace(&self) -> Result<Trace, String> {
+        let mut stream = self.stream()?;
+        let horizon = match *self {
+            WorkloadSpec::Zipf { horizon, .. }
+            | WorkloadSpec::Mmpp { horizon, .. }
+            | WorkloadSpec::OnOff { horizon, .. }
+            | WorkloadSpec::Uniform { horizon, .. }
+            | WorkloadSpec::Shaped { horizon, .. } => horizon,
+            // Replay everything: the stream knows its own end.
+            WorkloadSpec::Replay { .. } => Slot::MAX,
+        };
+        Ok(materialize(stream.as_mut(), horizon))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_with_defaults_and_overrides() {
+        let s = WorkloadSpec::parse("zipf:n=16,load=0.5").unwrap();
+        match s {
+            WorkloadSpec::Zipf { n, load, s, .. } => {
+                assert_eq!(n, 16);
+                assert_eq!(load, 0.5);
+                assert_eq!(s, 1.1);
+            }
+            _ => panic!("wrong family"),
+        }
+        assert!(
+            WorkloadSpec::parse("uniform").is_ok(),
+            "bare family = all defaults"
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_family_and_keys() {
+        assert!(WorkloadSpec::parse("poisson:n=8").is_err());
+        assert!(WorkloadSpec::parse("zipf:laod=0.5").is_err());
+        assert!(WorkloadSpec::parse("zipf:n").is_err());
+        assert!(
+            WorkloadSpec::parse("replay:n=4").is_err(),
+            "replay needs path"
+        );
+    }
+
+    #[test]
+    fn spec_trace_is_deterministic() {
+        let a = WorkloadSpec::parse("mmpp:n=4,seed=9,horizon=3000").unwrap();
+        let b = WorkloadSpec::parse("mmpp:n=4,seed=9,horizon=3000").unwrap();
+        assert_eq!(a.trace().unwrap(), b.trace().unwrap());
+        let c = WorkloadSpec::parse("mmpp:n=4,seed=10,horizon=3000").unwrap();
+        assert_ne!(a.trace().unwrap(), c.trace().unwrap());
+    }
+
+    #[test]
+    fn shaped_spec_traces_are_admissible() {
+        let s =
+            WorkloadSpec::parse("shaped:n=4,load=0.95,num=1,den=2,burst=4,horizon=4000").unwrap();
+        let t = s.trace().unwrap();
+        assert!(LbContract::new(1, 2, 4).admits(&t, 4));
+    }
+}
