@@ -77,6 +77,24 @@ impl Percentiles {
 /// `q(f) = v[ceil(f·count) − 1]`, so `p999` of 1000 samples is the 999th
 /// order statistic and a sample of one returns that value for every
 /// quantile.
+///
+/// ## Small samples — the defined rule
+///
+/// For `count < 1/(1 − f)` the ceil lands on the last order statistic, so
+/// the quantile **equals the maximum by definition** (e.g. `p999` of any
+/// sample under 1000 is the max; `p99` of any sample under 100 likewise).
+/// That is the type-1 answer, not an indexing accident — but it means a
+/// small-sample `p999` carries no information beyond `max`. Callers
+/// deciding whether to *report* a tail quantile should gate on
+/// [`resolvable`](Self::resolvable); the experiment tables print `~` next
+/// to unresolved tails rather than implying a measured 99.9th percentile
+/// from 200 cells. Exact ranks at the boundary (`values 1..=n`):
+///
+/// | n | p99 rank (1-based) | p999 rank |
+/// |---|---|---|
+/// | 999 | 990 | 999 (= max) |
+/// | 1000 | 990 | 999 (max − 1) |
+/// | 1001 | 991 | 1000 (max − 1) |
 #[derive(Clone, Debug, PartialEq)]
 pub struct TailQuantiles {
     /// Sample size.
@@ -112,6 +130,15 @@ impl TailQuantiles {
     fn order_stat(sorted: &[i64], num: usize, den: usize) -> i64 {
         let rank = (sorted.len() * num).div_ceil(den).max(1) - 1;
         sorted[rank]
+    }
+
+    /// Whether a `1 − 1/den` tail quantile of this sample is resolvable —
+    /// i.e. can differ from the maximum. With fewer than `den` samples the
+    /// type-1 rank is pinned to the last order statistic, so the quantile
+    /// is definitionally the max and adds nothing; callers should report
+    /// it as such (see the struct-level small-sample rule).
+    pub fn resolvable(&self, den: usize) -> bool {
+        self.count >= den
     }
 
     /// One-line summary for tables.
@@ -350,6 +377,45 @@ mod tests {
         let one = TailQuantiles::from(&[42]).unwrap();
         assert_eq!((one.p99, one.p999, one.max), (42, 42, 42));
         assert!(TailQuantiles::from(&[]).is_none());
+    }
+
+    #[test]
+    fn tail_quantiles_small_sample_rule_is_exact() {
+        // Pin the defined small-sample behavior at every boundary size.
+        // Samples are 1..=n so the i-th order statistic is just i.
+
+        // n = 1: every quantile is the value; nothing is resolvable.
+        let t = TailQuantiles::from(&[42]).unwrap();
+        assert_eq!((t.p99, t.p999, t.max), (42, 42, 42));
+        assert!(!t.resolvable(100) && !t.resolvable(1000));
+
+        // n = 10: ceil(9.9) = ceil(9.99) = 10 → both tails are the max,
+        // by the rule, and flagged unresolvable.
+        let v: Vec<i64> = (1..=10).collect();
+        let t = TailQuantiles::from(&v).unwrap();
+        assert_eq!((t.p99, t.p999, t.max), (10, 10, 10));
+        assert!(!t.resolvable(100) && !t.resolvable(1000));
+
+        // n = 999: p99 = ceil(989.01) = 990th stat; p999 = ceil(998.001)
+        // = 999th = max — the largest sample where p999 still aliases max.
+        let v: Vec<i64> = (1..=999).collect();
+        let t = TailQuantiles::from(&v).unwrap();
+        assert_eq!((t.p99, t.p999, t.max), (990, 999, 999));
+        assert!(t.resolvable(100) && !t.resolvable(1000));
+
+        // n = 1000: p999 = 999th stat — one *below* the max for the first
+        // time, and now resolvable.
+        let v: Vec<i64> = (1..=1000).collect();
+        let t = TailQuantiles::from(&v).unwrap();
+        assert_eq!((t.p99, t.p999, t.max), (990, 999, 1000));
+        assert!(t.resolvable(1000));
+
+        // n = 1001: p99 = ceil(990.99) = 991st; p999 = ceil(999.999) =
+        // 1000th — still strictly below the 1001st (max).
+        let v: Vec<i64> = (1..=1001).collect();
+        let t = TailQuantiles::from(&v).unwrap();
+        assert_eq!((t.p99, t.p999, t.max), (991, 1000, 1001));
+        assert!(t.resolvable(1000));
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Crossbar scheduler-zoo benches (`scheduler_zoo` group, gated in CI via
+//! BENCH_baselines.json): the per-slot match computation of every
+//! discipline the VOQ fabric can host, plus the CIOQ matching policies.
+//!
+//! * `match_slot` — one `CrossbarScheduler::schedule` call on a dense
+//!   random VOQ occupancy matrix. This is the cost the fabric pays every
+//!   backlogged slot, and the complexity claims differ per occupant:
+//!   iSLIP is O(iters·N²) pointer walking, QPS-r is O(r·N) sampling plus
+//!   the per-input proportional draw, SW-QPS adds first-fit window
+//!   packing. The gate keeps each from silently regressing into the
+//!   others' class.
+//! * `cioq_slot` — whole-switch slot rate under each `CioqPolicy` at
+//!   speedup 2 on uniform Bernoulli traffic, amortizing the matching over
+//!   arrivals/departures exactly as E24 runs it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pps_core::rng::SplitMix64;
+use pps_core::Stepping;
+use pps_crossbar::{
+    run_cioq_policy, CioqPolicy, CrossbarScheduler, IslipArbiter, QpsRScheduler, SwQpsScheduler,
+};
+use pps_traffic::gen::BernoulliGen;
+
+/// Ports for the raw match benches.
+const N: usize = 32;
+/// Schedule calls per iteration of `match_slot`.
+const SLOTS: u64 = 200;
+
+/// A dense random occupancy matrix: every VOQ holds 0..8 cells, at least
+/// one per input so no scheduler can take its empty-matrix early-out.
+fn lens_matrix(seed: u64) -> Vec<usize> {
+    let mut rng = SplitMix64::new(seed);
+    let mut lens: Vec<usize> = (0..N * N).map(|_| rng.below(8) as usize).collect();
+    for i in 0..N {
+        let j = rng.below(N as u64) as usize;
+        lens[i * N + j] += 1;
+    }
+    lens
+}
+
+fn bench_match_slot(c: &mut Criterion) {
+    let lens = lens_matrix(0x500);
+    let mut g = c.benchmark_group("scheduler_zoo");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(SLOTS));
+    let cases: Vec<(&str, Box<dyn CrossbarScheduler>)> = vec![
+        ("islip2", Box::new(IslipArbiter::new(N, 2))),
+        ("qps1", Box::new(QpsRScheduler::new(N, 1, 7))),
+        ("qps3", Box::new(QpsRScheduler::new(N, 3, 7))),
+        ("swqps8", Box::new(SwQpsScheduler::new(N, 8, 7))),
+    ];
+    for (name, mut sched) in cases {
+        g.bench_with_input(
+            BenchmarkId::new("match_slot", format!("{name}_n{N}")),
+            &lens,
+            |b, lens| {
+                b.iter(|| {
+                    let mut out = vec![None; N];
+                    let mut matched = 0usize;
+                    for slot in 0..SLOTS {
+                        out.fill(None);
+                        sched.schedule(slot, lens, &mut out);
+                        matched += out.iter().flatten().count();
+                    }
+                    black_box(matched)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_cioq_slot(c: &mut Criterion) {
+    let n = 16;
+    let horizon = 2_000u64;
+    let trace = BernoulliGen::uniform(0.6, 24).trace(n, horizon);
+    let mut g = c.benchmark_group("scheduler_zoo");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(horizon));
+    for policy in [CioqPolicy::CriticalFirst, CioqPolicy::MaximalRr] {
+        g.bench_with_input(
+            BenchmarkId::new("cioq_slot", policy.name()),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let log = run_cioq_policy(trace, n, 2, policy, Stepping::SkipAhead);
+                    black_box(log.len())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_match_slot, bench_cioq_slot);
+criterion_main!(benches);

@@ -41,8 +41,20 @@ pub enum DemuxChoice {
     FaultAwareCentralized,
     /// Fault-aware round-robin on `u`-RT information (the `u` field).
     FaultAwareUrt(Slot),
-    /// Buffered round-robin — the only choice for buffered cases.
+    /// Chang–Lee two-stage load-balanced rotation (fully distributed,
+    /// stateless).
+    TwoStageLb,
+    /// Power-of-`d` sampled least-loaded dispatch (the `d` field).
+    LeastLoadedOfD(usize),
+    /// Buffered round-robin — the default for buffered cases.
     BufferedRoundRobin,
+    /// Buffered stale least-loaded on `u`-old information holding each
+    /// cell `hold ≤ u` slots (fields `(u, hold)`).
+    BufferedStale(Slot, Slot),
+    /// Delayed CPA: hold `u` slots, then assign by FCFS-OQ deadlines
+    /// (the `u` field). Drawn only in its Theorem 12 regime (global-FCFS
+    /// output stage, speedup `K/r' ≥ 2`).
+    DelayedCpa(Slot),
 }
 
 impl DemuxChoice {
@@ -56,17 +68,48 @@ impl DemuxChoice {
             DemuxChoice::HashFlow => "hash",
             DemuxChoice::FaultAwareCentralized => "fa-rr-c",
             DemuxChoice::FaultAwareUrt(_) => "fa-rr-u",
+            DemuxChoice::TwoStageLb => "2s-lb",
+            DemuxChoice::LeastLoadedOfD(_) => "ll-of-d",
             DemuxChoice::BufferedRoundRobin => "buf-rr",
+            DemuxChoice::BufferedStale(..) => "buf-stale",
+            DemuxChoice::DelayedCpa(_) => "dcpa",
         }
     }
 
     /// The information delay the down-plane-dispatch oracle should assume,
     /// or `None` when the demux is fault-blind and the check must stay off.
+    /// The buffered `u`-RT automata report their honest delay, but the
+    /// runner additionally gates the check on bufferless cases, so for
+    /// them the value is descriptive only.
     pub fn info_delay(self) -> Option<Slot> {
         match self {
             DemuxChoice::FaultAwareCentralized => Some(0),
             DemuxChoice::FaultAwareUrt(u) => Some(u),
+            DemuxChoice::BufferedStale(u, _) => Some(u),
+            DemuxChoice::DelayedCpa(u) => Some(u),
             _ => None,
+        }
+    }
+}
+
+/// Which scheduler the comparison crossbar runs alongside the PPS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrossbarChoice {
+    /// iSLIP at the runner's fixed iteration count.
+    Islip,
+    /// QPS-r with `r` accept rounds.
+    QpsR(usize),
+    /// SW-QPS with the given window size.
+    SwQps(usize),
+}
+
+impl CrossbarChoice {
+    /// Short name used in report lines and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrossbarChoice::Islip => "islip",
+            CrossbarChoice::QpsR(_) => "qps-r",
+            CrossbarChoice::SwQps(_) => "sw-qps",
         }
     }
 }
@@ -310,6 +353,41 @@ impl ChaosCase {
             _ => traffic,
         };
 
+        // 8. Demux-zoo upgrade. Same seed-hash idiom as step 7 — pure
+        //    hashes of the already-drawn case seed, never fresh RNG
+        //    draws, so the draw order above and every recorded
+        //    `(seed, index)` repro pair stay valid. A quarter of the
+        //    buffered cases swap round-robin for one of the Section 4
+        //    buffered automata, and a quarter of the plain bufferless
+        //    bucket for a load-balancing transplant; the fault-aware
+        //    bucket keeps its deliberate prevalence under faults.
+        let h = case_seed(seed, 0x00DE_5A00);
+        let demux = match demux {
+            DemuxChoice::BufferedRoundRobin => {
+                let u = 1 + ((h >> 8) % 8);
+                match h >> 61 {
+                    // Delayed CPA only in its Theorem 12 regime; outside
+                    // it, fall back to the stale automaton at full hold.
+                    0 if discipline == OutputDiscipline::GlobalFcfs && k >= 2 * r_prime => {
+                        DemuxChoice::DelayedCpa(u)
+                    }
+                    0 => DemuxChoice::BufferedStale(u, u),
+                    1 => DemuxChoice::BufferedStale(u, (h >> 16) % (u + 1)),
+                    _ => demux,
+                }
+            }
+            DemuxChoice::RoundRobin
+            | DemuxChoice::PerFlowRoundRobin
+            | DemuxChoice::Random
+            | DemuxChoice::LeastLoadedLocal
+            | DemuxChoice::HashFlow => match h >> 61 {
+                0 => DemuxChoice::TwoStageLb,
+                1 => DemuxChoice::LeastLoadedOfD(2 + ((h >> 8) & 1) as usize),
+                _ => demux,
+            },
+            other => other,
+        };
+
         ChaosCase {
             index,
             seed,
@@ -441,6 +519,33 @@ impl ChaosCase {
             0 | 1 => 1,
             2 => 2,
             _ => 4,
+        }
+    }
+
+    /// The scheduler the comparison crossbar runs for this case. Derived
+    /// from the already-drawn `seed` by the same hash idiom as
+    /// [`stepping`](Self::stepping) — *not* a fresh RNG draw — so adding
+    /// it changed no recorded `(seed, index)` repro pair. Half the cases
+    /// keep iSLIP (the historical comparison engine); the rest split
+    /// between the sampling schedulers with hash-drawn parameters.
+    pub fn crossbar_sched(&self) -> CrossbarChoice {
+        let h = case_seed(self.seed, 0x5CED_0CB5);
+        match h >> 62 {
+            0 | 1 => CrossbarChoice::Islip,
+            2 => CrossbarChoice::QpsR(1 + ((h >> 8) % 3) as usize),
+            _ => CrossbarChoice::SwQps(2 + ((h >> 8) % 7) as usize),
+        }
+    }
+
+    /// The matching policy the comparison CIOQ switch runs for this case:
+    /// half the cases keep the critical-cell-first EDF matching, the rest
+    /// run the Cogill–Lall maximal round-robin matching. Same seed-hash
+    /// idiom as [`crossbar_sched`](Self::crossbar_sched).
+    pub fn cioq_policy(&self) -> pps_crossbar::CioqPolicy {
+        if case_seed(self.seed, 0x0C10_90CA) >> 63 == 0 {
+            pps_crossbar::CioqPolicy::CriticalFirst
+        } else {
+            pps_crossbar::CioqPolicy::MaximalRr
         }
     }
 
@@ -598,6 +703,100 @@ mod tests {
         let classic =
             seen.get("bern").copied().unwrap_or(0) + seen.get("onoff").copied().unwrap_or(0);
         assert!(classic > 256, "classic generators crowded out: {seen:?}");
+    }
+
+    #[test]
+    fn demux_zoo_upgrade_mixes_all_families() {
+        // The step-8 remap must surface every new demux while leaving the
+        // original families in place: buffered cases stay 3/4 round-robin,
+        // the plain bufferless bucket stays 3/4 classic, and the
+        // fault-aware bucket is untouched.
+        let mut seen = std::collections::HashMap::new();
+        for i in 0..2048 {
+            let case = ChaosCase::generate(42, i, 64);
+            *seen.entry(case.demux.name()).or_insert(0usize) += 1;
+        }
+        for name in ["2s-lb", "ll-of-d", "buf-stale", "buf-rr", "fa-rr-c"] {
+            assert!(seen.get(name).copied().unwrap_or(0) > 8, "{name}: {seen:?}");
+        }
+        // Delayed CPA needs the (rarer) GlobalFcfs + speedup-2 regime but
+        // must still appear in a campaign-sized corpus.
+        assert!(seen.get("dcpa").copied().unwrap_or(0) > 0, "{seen:?}");
+        assert!(
+            seen.get("buf-rr").copied().unwrap_or(0) > seen.get("buf-stale").copied().unwrap_or(0),
+            "{seen:?}"
+        );
+    }
+
+    #[test]
+    fn demux_zoo_upgrade_draws_valid_parameters() {
+        for i in 0..2048 {
+            let case = ChaosCase::generate(7, i, 64);
+            match case.demux {
+                DemuxChoice::BufferedStale(u, hold) => {
+                    assert!(u >= 1 && hold <= u, "case {i}: u={u} hold={hold}");
+                    assert!(case.buffer > u as usize, "case {i}: buffer too small");
+                }
+                DemuxChoice::DelayedCpa(u) => {
+                    assert!(u >= 1, "case {i}");
+                    assert!(case.buffer > u as usize, "case {i}: buffer too small");
+                    assert_eq!(case.discipline, OutputDiscipline::GlobalFcfs, "case {i}");
+                    assert!(case.k >= 2 * case.r_prime, "case {i}: speedup < 2");
+                }
+                DemuxChoice::LeastLoadedOfD(d) => {
+                    assert!((2..=3).contains(&d), "case {i}: d={d}")
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_engine_draws_mix_and_stay_deterministic() {
+        let mut sched = std::collections::HashMap::new();
+        let mut maximal = 0usize;
+        for i in 0..512 {
+            let case = ChaosCase::generate(42, i, 64);
+            *sched.entry(case.crossbar_sched().name()).or_insert(0usize) += 1;
+            if case.cioq_policy() == pps_crossbar::CioqPolicy::MaximalRr {
+                maximal += 1;
+            }
+            assert_eq!(case.crossbar_sched(), case.crossbar_sched());
+            assert_eq!(case.cioq_policy(), case.cioq_policy());
+        }
+        for name in ["islip", "qps-r", "sw-qps"] {
+            assert!(sched.get(name).copied().unwrap_or(0) > 32, "{sched:?}");
+        }
+        assert!(
+            sched["islip"] > sched["qps-r"] && sched["islip"] > sched["sw-qps"],
+            "iSLIP must stay the majority comparison engine: {sched:?}"
+        );
+        assert!(
+            (100..412).contains(&maximal),
+            "CIOQ split skewed: {maximal}"
+        );
+    }
+
+    #[test]
+    fn recorded_repro_pair_still_regenerates() {
+        // chaos-repros/case-001 was recorded before the scheduler-zoo
+        // upgrades; the seed-hash idiom guarantees its case fields are
+        // byte-identical today. Pin them so a draw-order regression is a
+        // test failure, not a stale repro discovered in anger.
+        let case = ChaosCase::generate(42, 1, 256);
+        assert_eq!(case.seed, 13679457532755275413);
+        assert_eq!(case.n, 16);
+        assert_eq!(case.k, 6);
+        assert_eq!(case.r_prime, 2);
+        assert_eq!(case.buffer, 0);
+        assert_eq!(case.discipline, OutputDiscipline::FlowFifo);
+        assert_eq!(case.watchdog, Some(13));
+        assert_eq!(case.demux, DemuxChoice::FaultAwareCentralized);
+        assert_eq!(case.traffic.name(), "onoff");
+        assert_eq!(case.load_millis, 568);
+        // The on-disk repro keeps 1 of the original fault events (the
+        // shrinker's doing; plan.csv overrides the plan at replay).
+        assert_eq!(case.plan.events().len(), 7);
     }
 
     #[test]

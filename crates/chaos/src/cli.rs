@@ -196,6 +196,7 @@ pub fn run(opts: &ChaosOptions) -> Result<ChaosReport, ChaosError> {
         inject_leak: opts.inject_leak,
         force_stepping: opts.force_stepping,
         force_intra_jobs: opts.force_intra_jobs,
+        force_cioq_speedup: None,
     };
     let seed = opts.seed;
     let budget = opts.budget_slots;

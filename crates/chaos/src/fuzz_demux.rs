@@ -8,11 +8,14 @@
 //! method to the wrapped algorithm.
 
 use crate::case::DemuxChoice;
-use pps_core::demux::{Demultiplexor, DispatchCtx, InfoClass};
-use pps_core::{Cell, GlobalSnapshot, PlaneId, Slot};
+use pps_core::demux::{
+    BufferedDecision, BufferedDemultiplexor, Demultiplexor, DispatchCtx, InfoClass, LocalView,
+};
+use pps_core::{Cell, GlobalSnapshot, PlaneId, PortId, Slot};
 use pps_switch::demux::{
-    FaultAwareRoundRobinDemux, HashFlowDemux, LeastLoadedLocalDemux, PerFlowRoundRobinDemux,
-    RandomDemux, RoundRobinDemux,
+    BufferedRoundRobinDemux, BufferedStaleDemux, DelayedCpaDemux, FaultAwareRoundRobinDemux,
+    HashFlowDemux, LeastLoadedLocalDemux, LeastLoadedOfDDemux, PerFlowRoundRobinDemux, RandomDemux,
+    RoundRobinDemux, TwoStageLbDemux,
 };
 
 /// One concrete type spanning the bufferless demux zoo.
@@ -24,13 +27,16 @@ pub enum FuzzDemux {
     LeastLoadedLocal(LeastLoadedLocalDemux),
     HashFlow(HashFlowDemux),
     FaultAware(FaultAwareRoundRobinDemux),
+    TwoStageLb(TwoStageLbDemux),
+    LeastLoadedOfD(LeastLoadedOfDDemux),
 }
 
 impl FuzzDemux {
     /// Materialize the algorithm a [`DemuxChoice`] names.
     ///
-    /// Panics on [`DemuxChoice::BufferedRoundRobin`]: buffered cases build
-    /// their demux directly, the bufferless engine never sees the variant.
+    /// Panics on the buffered variants: buffered cases materialize a
+    /// [`FuzzBufferedDemux`] instead, the bufferless engine never sees
+    /// them.
     pub fn build(choice: DemuxChoice, n: usize, k: usize, r_prime: usize, seed: u64) -> FuzzDemux {
         match choice {
             DemuxChoice::RoundRobin => FuzzDemux::RoundRobin(RoundRobinDemux::new(n, k)),
@@ -48,7 +54,13 @@ impl FuzzDemux {
             DemuxChoice::FaultAwareUrt(u) => {
                 FuzzDemux::FaultAware(FaultAwareRoundRobinDemux::urt(n, k, u))
             }
-            DemuxChoice::BufferedRoundRobin => {
+            DemuxChoice::TwoStageLb => FuzzDemux::TwoStageLb(TwoStageLbDemux::new(k)),
+            DemuxChoice::LeastLoadedOfD(d) => {
+                FuzzDemux::LeastLoadedOfD(LeastLoadedOfDDemux::new(n, k, r_prime, d, seed))
+            }
+            DemuxChoice::BufferedRoundRobin
+            | DemuxChoice::BufferedStale(..)
+            | DemuxChoice::DelayedCpa(_) => {
                 panic!("buffered choice has no bufferless materialization")
             }
         }
@@ -62,6 +74,8 @@ impl FuzzDemux {
             FuzzDemux::LeastLoadedLocal(d) => d,
             FuzzDemux::HashFlow(d) => d,
             FuzzDemux::FaultAware(d) => d,
+            FuzzDemux::TwoStageLb(d) => d,
+            FuzzDemux::LeastLoadedOfD(d) => d,
         }
     }
 
@@ -73,6 +87,8 @@ impl FuzzDemux {
             FuzzDemux::LeastLoadedLocal(d) => d,
             FuzzDemux::HashFlow(d) => d,
             FuzzDemux::FaultAware(d) => d,
+            FuzzDemux::TwoStageLb(d) => d,
+            FuzzDemux::LeastLoadedOfD(d) => d,
         }
     }
 }
@@ -103,6 +119,90 @@ impl Demultiplexor for FuzzDemux {
     }
 }
 
+/// One concrete type spanning the buffered demux zoo — the buffered
+/// engine's counterpart of [`FuzzDemux`].
+#[allow(missing_docs)]
+pub enum FuzzBufferedDemux {
+    RoundRobin(BufferedRoundRobinDemux),
+    Stale(BufferedStaleDemux),
+    DelayedCpa(DelayedCpaDemux),
+}
+
+impl FuzzBufferedDemux {
+    /// Materialize the buffered algorithm a [`DemuxChoice`] names.
+    ///
+    /// Panics on bufferless variants: those materialize a [`FuzzDemux`].
+    pub fn build(choice: DemuxChoice, n: usize, k: usize, r_prime: usize) -> FuzzBufferedDemux {
+        match choice {
+            DemuxChoice::BufferedRoundRobin => {
+                FuzzBufferedDemux::RoundRobin(BufferedRoundRobinDemux::new(n, k))
+            }
+            DemuxChoice::BufferedStale(u, hold) => {
+                FuzzBufferedDemux::Stale(BufferedStaleDemux::new(n, k, u, hold))
+            }
+            DemuxChoice::DelayedCpa(u) => {
+                FuzzBufferedDemux::DelayedCpa(DelayedCpaDemux::new(n, k, r_prime, u))
+            }
+            _ => panic!("bufferless choice has no buffered materialization"),
+        }
+    }
+
+    fn inner(&self) -> &dyn BufferedDemultiplexor {
+        match self {
+            FuzzBufferedDemux::RoundRobin(d) => d,
+            FuzzBufferedDemux::Stale(d) => d,
+            FuzzBufferedDemux::DelayedCpa(d) => d,
+        }
+    }
+
+    fn inner_mut(&mut self) -> &mut dyn BufferedDemultiplexor {
+        match self {
+            FuzzBufferedDemux::RoundRobin(d) => d,
+            FuzzBufferedDemux::Stale(d) => d,
+            FuzzBufferedDemux::DelayedCpa(d) => d,
+        }
+    }
+}
+
+impl BufferedDemultiplexor for FuzzBufferedDemux {
+    fn info_class(&self) -> InfoClass {
+        self.inner().info_class()
+    }
+
+    fn slot_decision(
+        &mut self,
+        input: PortId,
+        arrival: Option<&Cell>,
+        buffer: &[Cell],
+        ctx: &DispatchCtx<'_>,
+        out: &mut BufferedDecision,
+    ) {
+        self.inner_mut()
+            .slot_decision(input, arrival, buffer, ctx, out);
+    }
+
+    fn next_activity(&self, now: Slot) -> Option<Slot> {
+        self.inner().next_activity(now)
+    }
+
+    fn buffered_next_activity(
+        &self,
+        input: PortId,
+        head: &Cell,
+        local: &LocalView<'_>,
+    ) -> Option<Slot> {
+        self.inner().buffered_next_activity(input, head, local)
+    }
+
+    fn reset(&mut self) {
+        self.inner_mut().reset();
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner().name()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,9 +217,24 @@ mod tests {
             DemuxChoice::HashFlow,
             DemuxChoice::FaultAwareCentralized,
             DemuxChoice::FaultAwareUrt(4),
+            DemuxChoice::TwoStageLb,
+            DemuxChoice::LeastLoadedOfD(2),
         ];
         for c in choices {
             let d = FuzzDemux::build(c, 4, 4, 2, 99);
+            assert!(!d.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn build_covers_the_buffered_zoo() {
+        let choices = [
+            DemuxChoice::BufferedRoundRobin,
+            DemuxChoice::BufferedStale(4, 2),
+            DemuxChoice::DelayedCpa(3),
+        ];
+        for c in choices {
+            let d = FuzzBufferedDemux::build(c, 4, 4, 2);
             assert!(!d.name().is_empty());
         }
     }

@@ -7,8 +7,10 @@
 //! leaky-bucket cap, uniform/hotspot/permutation/diagonal destinations)
 //! with random fault schedules (plane failures and recoveries, link
 //! degradation windows) and random switch geometry, then drives the PPS
-//! under test alongside the shadow OQ, the iSLIP crossbar and the CIOQ
-//! switch in lockstep, with every runtime invariant oracle armed:
+//! under test alongside the shadow OQ, the VOQ crossbar (scheduler drawn
+//! per case from the zoo — iSLIP, QPS-r or SW-QPS) and the CIOQ switch
+//! (policy and speedup likewise drawn) in lockstep, with every runtime
+//! invariant oracle armed:
 //!
 //! * **cell conservation** — arrivals = departures + backlog + drops,
 //!   reconciled every slot against the cell pool ([`pps_core::oracle`]);

@@ -1,8 +1,9 @@
 //! Lockstep four-engine execution of one chaos case.
 //!
 //! Every case drives the PPS under test, the shadow output-queued switch,
-//! the iSLIP crossbar and the CIOQ switch through the *same* arrival
-//! stream slot by slot. The PPS-side conservation ledger and the cell-pool
+//! the crossbar (scheduler drawn per case from the zoo — iSLIP, QPS-r or
+//! SW-QPS) and the CIOQ switch (policy drawn per case) through the *same*
+//! arrival stream slot by slot. The PPS-side conservation ledger and the cell-pool
 //! reconciliation run every slot (so a violation is caught at the slot it
 //! happens, not at the end); the event-stream, flow-order, causality and
 //! relative-delay oracles fold over the run once it finishes.
@@ -11,20 +12,22 @@
 //! oracles fold over the telemetry event log and see nothing otherwise
 //! (the chaos CLI forces the level; library callers must do the same).
 
-use crate::case::ChaosCase;
-use crate::fuzz_demux::FuzzDemux;
+use crate::case::{ChaosCase, CrossbarChoice};
+use crate::fuzz_demux::{FuzzBufferedDemux, FuzzDemux};
 use pps_core::oracle::{self, ConservationLedger, OracleKind, OracleViolation};
 use pps_core::telemetry::{self, Event};
 use pps_core::{Cell, ModelError, RunLog, Slot, Stepping};
-use pps_crossbar::{CioqSwitch, CrossbarSwitch};
+use pps_crossbar::{
+    CioqSwitch, CrossbarScheduler, CrossbarSwitch, IslipArbiter, QpsRScheduler, SwQpsScheduler,
+};
 use pps_reference::ShadowOq;
-use pps_switch::demux::BufferedRoundRobinDemux;
 use pps_switch::{BufferedPps, BufferlessPps, Fabric};
 use pps_telemetry::{check_stream, StreamOracleConfig};
 use pps_traffic::min_burstiness;
 use std::sync::Arc;
 
-/// iSLIP iterations / CIOQ speedup for the comparison engines.
+/// iSLIP iteration count / CIOQ speedup for the comparison engines (the
+/// scheduler and matching policy themselves are per-case draws).
 const CROSSBAR_ITERATIONS: usize = 2;
 const CIOQ_SPEEDUP: usize = 2;
 
@@ -53,6 +56,10 @@ pub struct RunOpts {
     /// draw it from its seed ([`ChaosCase::intra_jobs`]). Used by the
     /// sharded/serial equivalence tests; `None` in normal campaigns.
     pub force_intra_jobs: Option<usize>,
+    /// Pin the comparison CIOQ switch's speedup instead of the default
+    /// [`CIOQ_SPEEDUP`]. Used by the speedup × fault interaction tests;
+    /// `None` in normal campaigns.
+    pub force_cioq_speedup: Option<usize>,
 }
 
 /// How a failed case failed — the signature the shrinker preserves.
@@ -117,10 +124,21 @@ impl CaseOutcome {
     }
 }
 
+/// The comparison crossbar's scheduler, drawn per case from its seed
+/// ([`ChaosCase::crossbar_sched`]) so the campaign exercises the whole
+/// scheduler zoo in lockstep, not just iSLIP.
+fn comparison_scheduler(case: &ChaosCase) -> Box<dyn CrossbarScheduler> {
+    match case.crossbar_sched() {
+        CrossbarChoice::Islip => Box::new(IslipArbiter::new(case.n, CROSSBAR_ITERATIONS)),
+        CrossbarChoice::QpsR(r) => Box::new(QpsRScheduler::new(case.n, r, case.seed ^ 0x9B5)),
+        CrossbarChoice::SwQps(w) => Box::new(SwQpsScheduler::new(case.n, w, case.seed ^ 0x5109)),
+    }
+}
+
 /// The two engine shapes a case can materialize.
 enum EngineUnderTest {
     Bufferless(BufferlessPps<FuzzDemux>),
-    Buffered(BufferedPps<BufferedRoundRobinDemux>),
+    Buffered(BufferedPps<FuzzBufferedDemux>),
 }
 
 impl EngineUnderTest {
@@ -134,7 +152,7 @@ impl EngineUnderTest {
             e.set_intra_jobs(intra_jobs);
             Ok(EngineUnderTest::Bufferless(e))
         } else {
-            let demux = BufferedRoundRobinDemux::new(case.n, case.k);
+            let demux = FuzzBufferedDemux::build(case.demux, case.n, case.k, case.r_prime);
             let mut e = BufferedPps::new(cfg, demux)?;
             e.set_fault_plan_shared(plan)?;
             e.set_intra_jobs(intra_jobs);
@@ -276,8 +294,9 @@ fn lockstep(case: &ChaosCase, opts: RunOpts, cells: &[Cell]) -> (CaseOutcome, Ru
         engine.inject_conservation_leak();
     }
     let mut oq = ShadowOq::new(case.n);
-    let mut xbar = CrossbarSwitch::new(case.n, CROSSBAR_ITERATIONS);
-    let mut cioq = CioqSwitch::new(case.n, CIOQ_SPEEDUP);
+    let mut xbar = CrossbarSwitch::with_scheduler(case.n, comparison_scheduler(case));
+    let speedup = opts.force_cioq_speedup.unwrap_or(CIOQ_SPEEDUP);
+    let mut cioq = CioqSwitch::with_policy(case.n, speedup, case.cioq_policy());
 
     // Hard ceiling on run length: arrivals plus a full serialized drain of
     // every cell would still finish well inside this.
@@ -477,6 +496,123 @@ mod tests {
             }
         }
         panic!("corpus lacked fault-free stochastic cases: {ran:?}");
+    }
+
+    #[test]
+    fn cioq_speedup_by_fault_pulse_stays_clean() {
+        // Satellite of the scheduler-zoo PR: a PlaneDown/LinkDegraded
+        // pulse mid-run must keep the conservation ledger and the watchdog
+        // accounting clean at CIOQ speedup 1 *and* 2, under both matching
+        // policies (the policy is a seed draw, so scan for one seed per
+        // policy) and both stepping modes.
+        use crate::case::{DemuxChoice, TrafficChoice};
+        use pps_core::fault::FaultPlan;
+        use pps_core::OutputDiscipline;
+        use pps_traffic::gen::TrafficPattern;
+
+        let pulse_case = |seed: u64| ChaosCase {
+            index: 0,
+            seed,
+            n: 8,
+            k: 4,
+            r_prime: 2,
+            buffer: 0,
+            discipline: OutputDiscipline::FlowFifo,
+            watchdog: Some(10),
+            demux: DemuxChoice::FaultAwareCentralized,
+            traffic: TrafficChoice::Bernoulli {
+                pattern: TrafficPattern::Uniform,
+            },
+            load_millis: 600,
+            horizon: 128,
+            plan: FaultPlan::new()
+                .plane_down(1, 40)
+                .plane_up(1, 72)
+                .link_degraded(2, 0, 48, 56),
+            truncate_at: None,
+        };
+
+        // One seed per CIOQ matching policy.
+        let mut seeds = std::collections::HashMap::new();
+        for s in 0..64u64 {
+            seeds.entry(pulse_case(s).cioq_policy()).or_insert(s);
+            if seeds.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(seeds.len(), 2, "no seed drew the second policy");
+
+        for (&policy, &seed) in &seeds {
+            let case = pulse_case(seed);
+            for speedup in [1usize, 2] {
+                let mut tallies = Vec::new();
+                for stepping in [Stepping::Dense, Stepping::SkipAhead] {
+                    let out = run_case(
+                        &case,
+                        RunOpts {
+                            force_cioq_speedup: Some(speedup),
+                            force_stepping: Some(stepping),
+                            ..RunOpts::default()
+                        },
+                    );
+                    assert_eq!(out.engine_error, None, "{policy:?} s={speedup}");
+                    assert!(
+                        out.violations.is_empty(),
+                        "{policy:?} s={speedup} {stepping:?}: {:?}",
+                        out.violations
+                    );
+                    // The pulse actually bit (the downed plane flushed
+                    // cells) and every cell is accounted for at the end:
+                    // delivered, dropped at the flush, or dropped late by
+                    // the watchdog — nothing stranded in a backlog.
+                    assert!(out.dropped > 0, "{policy:?} s={speedup}: pulse missed");
+                    assert_eq!(
+                        out.delivered + out.dropped + out.late_dropped,
+                        out.cells as u64,
+                        "{policy:?} s={speedup} {stepping:?}: watchdog accounting leaked"
+                    );
+                    tallies.push((
+                        out.delivered,
+                        out.dropped,
+                        out.skipped,
+                        out.late_dropped,
+                        out.end_slot,
+                    ));
+                }
+                assert_eq!(
+                    tallies[0], tallies[1],
+                    "{policy:?} s={speedup}: dense != skip"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn buffered_zoo_cases_run_clean() {
+        // The step-8 remap introduces stale and delayed-CPA buffered
+        // automata; every such case in a campaign-sized corpus must pass
+        // the full four-engine lockstep.
+        let mut seen = (0, 0);
+        for i in 0..768 {
+            let case = ChaosCase::generate(21, i, 96);
+            match case.demux {
+                crate::case::DemuxChoice::BufferedStale(..) => seen.0 += 1,
+                crate::case::DemuxChoice::DelayedCpa(_) => seen.1 += 1,
+                _ => continue,
+            }
+            let out = run_case(&case, RunOpts::default());
+            assert_eq!(out.engine_error, None, "case {i} ({})", case.demux.name());
+            assert!(
+                out.violations.is_empty(),
+                "case {i} ({}): {:?}",
+                case.demux.name(),
+                out.violations
+            );
+            if seen.0 >= 8 && seen.1 >= 1 {
+                return;
+            }
+        }
+        panic!("corpus lacked buffered-zoo cases: {seen:?}");
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod prelude;
 pub mod queue;
 pub mod rate;
 pub mod record;
+pub mod rng;
 pub mod snapshot;
 pub mod stepping;
 pub mod sweep;

@@ -101,6 +101,44 @@ impl IslipArbiter {
         self.grant_ptr.fill(0);
         self.accept_ptr.fill(0);
     }
+
+    /// The grant and accept pointer vectors, in that order — exposed so
+    /// the stepping-equivalence tests can pin that dense and skip-ahead
+    /// runs leave byte-identical arbiter state (pointers must not move
+    /// across a skipped idle gap: a grant requires an occupied VOQ, so an
+    /// all-empty request matrix cannot accept anything).
+    pub fn pointers(&self) -> (&[usize], &[usize]) {
+        (&self.grant_ptr, &self.accept_ptr)
+    }
+}
+
+impl crate::scheduler::CrossbarScheduler for IslipArbiter {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn schedule(&mut self, _now: pps_core::Slot, lens: &[usize], out: &mut [Option<usize>]) {
+        let n = self.n;
+        let m = self.matching(|i, j| lens[i * n + j] > 0);
+        out.copy_from_slice(&m);
+    }
+
+    fn reset(&mut self) {
+        IslipArbiter::reset(self);
+    }
+
+    fn state_digest(&self) -> u64 {
+        use pps_core::rng::SplitMix64;
+        let mut d = 0x15_117u64;
+        for (&g, &a) in self.grant_ptr.iter().zip(&self.accept_ptr) {
+            d = SplitMix64::fold_digest(d, ((g as u64) << 32) | a as u64);
+        }
+        d
+    }
+
+    fn name(&self) -> &'static str {
+        "islip"
+    }
 }
 
 #[cfg(test)]

@@ -18,18 +18,35 @@
 //!
 //! The crossbar here is cycle-accurate under the same slotted model as
 //! the rest of the workspace: per slot at most one cell arrives per
-//! input, the arbiter computes a matching over non-empty VOQs, matched
+//! input, the scheduler computes a matching over non-empty VOQs, matched
 //! cells traverse the fabric and depart in the same slot (zero minimum
 //! transit, like the other engines), and per-flow order is preserved by
 //! construction (VOQs are FIFO and a flow lives in exactly one VOQ).
+//!
+//! ## The scheduler zoo
+//!
+//! The fabric is generic over [`scheduler::CrossbarScheduler`]; the
+//! matching disciplines on offer:
+//!
+//! | scheduler | discipline | provenance |
+//! |---|---|---|
+//! | [`IslipArbiter`] | iterative round-robin grant/accept | McKeown, iSLIP |
+//! | [`QpsRScheduler`] | queue-proportional sampling, `r` rounds | Gong et al., arXiv 1905.05392 |
+//! | [`SwQpsScheduler`] | sliding-window QPS batch matching | Meng et al., arXiv 2010.08620 |
+//!
+//! The CIOQ switch ([`CioqSwitch`]) separately offers critical-cell-first
+//! or rotating maximal matching under configurable speedup
+//! ([`cioq::CioqPolicy`], after Cogill & Lall, arXiv cs/0605030).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cioq;
 pub mod islip;
+pub mod scheduler;
 pub mod switch;
 
-pub use cioq::{run_cioq, run_cioq_stepped, CioqSwitch};
+pub use cioq::{run_cioq, run_cioq_policy, run_cioq_stepped, CioqPolicy, CioqSwitch};
 pub use islip::IslipArbiter;
-pub use switch::{run_crossbar, run_crossbar_stepped, CrossbarSwitch};
+pub use scheduler::{CrossbarScheduler, QpsRScheduler, SwQpsScheduler};
+pub use switch::{run_crossbar, run_crossbar_stepped, run_crossbar_with, CrossbarSwitch};

@@ -1,28 +1,44 @@
-//! The VOQ input-queued crossbar switch.
+//! The VOQ input-queued crossbar switch, generic over its scheduler.
 
 use crate::islip::IslipArbiter;
+use crate::scheduler::CrossbarScheduler;
 use pps_core::prelude::*;
 
-/// An `N × N` input-queued crossbar with per-input VOQs and an iSLIP
-/// arbiter, running at the external rate `R` (one matching per slot, one
-/// cell per matched pair per slot).
+/// An `N × N` input-queued crossbar with per-input VOQs and a pluggable
+/// matching scheduler (iSLIP by default), running at the external rate `R`
+/// (one matching per slot, one cell per matched pair per slot).
 #[derive(Clone, Debug)]
-pub struct CrossbarSwitch {
+pub struct CrossbarSwitch<S: CrossbarScheduler = IslipArbiter> {
     n: usize,
     /// VOQ `(i, j)` at `i * n + j`, holding bare cell ids (the matching
     /// only needs occupancy, the departure only the id).
     voqs: Vec<FifoQueue<CellId>>,
-    arbiter: IslipArbiter,
+    scheduler: S,
+    /// Scratch occupancy matrix handed to the scheduler each slot.
+    lens: Vec<usize>,
+    /// Scratch matching written by the scheduler each slot.
+    matching: Vec<Option<usize>>,
     transmitted: u64,
 }
 
-impl CrossbarSwitch {
+impl CrossbarSwitch<IslipArbiter> {
     /// An idle `n × n` crossbar with an `iterations`-round iSLIP arbiter.
     pub fn new(n: usize, iterations: usize) -> Self {
+        CrossbarSwitch::with_scheduler(n, IslipArbiter::new(n, iterations))
+    }
+}
+
+impl<S: CrossbarScheduler> CrossbarSwitch<S> {
+    /// An idle `n × n` crossbar driven by `scheduler` (whose port count
+    /// must match `n`).
+    pub fn with_scheduler(n: usize, scheduler: S) -> Self {
+        assert_eq!(scheduler.n(), n, "scheduler port count mismatch");
         CrossbarSwitch {
             n,
             voqs: (0..n * n).map(|_| FifoQueue::new()).collect(),
-            arbiter: IslipArbiter::new(n, iterations),
+            scheduler,
+            lens: vec![0; n * n],
+            matching: vec![None; n],
             transmitted: 0,
         }
     }
@@ -48,21 +64,23 @@ impl CrossbarSwitch {
             }
             self.voqs[cell.input.idx() * self.n + cell.output.idx()].push(cell.id);
         }
-        let n = self.n;
-        let voqs = &self.voqs;
-        let matching = self.arbiter.matching(|i, j| !voqs[i * n + j].is_empty());
-        for (i, m) in matching.iter().enumerate() {
-            if let Some(j) = m {
-                let id = self.voqs[i * n + j]
+        for (l, q) in self.lens.iter_mut().zip(&self.voqs) {
+            *l = q.len();
+        }
+        self.matching.fill(None);
+        self.scheduler.schedule(now, &self.lens, &mut self.matching);
+        for i in 0..self.n {
+            if let Some(j) = self.matching[i] {
+                let id = self.voqs[i * self.n + j]
                     .pop()
-                    .expect("arbiter only matches occupied VOQs");
+                    .expect("scheduler only matches occupied VOQs");
                 if telemetry::on() {
                     telemetry::record(
                         Engine::Crossbar,
                         now,
                         EventKind::Depart {
                             cell: id,
-                            output: PortId(*j as u32),
+                            output: PortId(j as u32),
                         },
                     );
                 }
@@ -78,11 +96,12 @@ impl CrossbarSwitch {
     }
 
     /// The next slot strictly after `now` at which the switch does
-    /// anything, ignoring future arrivals. With backlog the crossbar
-    /// matches every slot; empty, a slot is a no-op — an all-empty request
-    /// matrix produces no grants, so the iSLIP pointers do not move.
+    /// anything, ignoring future arrivals. Delegates to the scheduler's
+    /// wake formula; for every discipline in the zoo that is `now + 1`
+    /// with backlog and quiescent without — an all-empty occupancy matrix
+    /// grants nothing, draws nothing, and moves no pointers.
     pub fn next_activity(&self, now: Slot) -> Option<Slot> {
-        (self.backlog() > 0).then(|| now + 1)
+        self.scheduler.next_activity(now, self.backlog())
     }
 
     /// Highest VOQ occupancy reached.
@@ -97,6 +116,11 @@ impl CrossbarSwitch {
     /// Total cells transmitted.
     pub fn transmitted(&self) -> u64 {
         self.transmitted
+    }
+
+    /// The scheduler driving the fabric (for state-digest assertions).
+    pub fn scheduler(&self) -> &S {
+        &self.scheduler
     }
 }
 
@@ -116,9 +140,23 @@ pub fn run_crossbar_stepped(
     iterations: usize,
     mode: pps_core::Stepping,
 ) -> RunLog {
+    run_crossbar_with(trace, IslipArbiter::new(n, iterations), mode).0
+}
+
+/// Run a trace through a fresh crossbar driven by `scheduler` until it
+/// drains. Returns the log plus the drained switch, so callers can inspect
+/// final scheduler state (the stepping-equivalence tests compare
+/// [`CrossbarScheduler::state_digest`] across modes — identical logs with
+/// diverged hidden state would still be a bug).
+pub fn run_crossbar_with<S: CrossbarScheduler>(
+    trace: &Trace,
+    scheduler: S,
+    mode: pps_core::Stepping,
+) -> (RunLog, CrossbarSwitch<S>) {
+    let n = scheduler.n();
     let cells = trace.cells(n);
     let mut log = RunLog::with_cells(&cells);
-    let mut xb = CrossbarSwitch::new(n, iterations);
+    let mut xb = CrossbarSwitch::with_scheduler(n, scheduler);
     let mut next = 0usize;
     let mut now: Slot = 0;
     let mut scratch: Vec<Cell> = Vec::new();
@@ -143,7 +181,7 @@ pub fn run_crossbar_stepped(
             now = cells[next].arrival;
         }
     }
-    log
+    (log, xb)
 }
 
 #[cfg(test)]

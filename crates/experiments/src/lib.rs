@@ -30,6 +30,9 @@
 //! | e19 | stochastic heavy traffic — tail relative delay across information classes | [`e19_stochastic_tails`] |
 //! | e20 | heavy-traffic regime — absolute delay diverges, relative delay stays geometric | [`e20_heavy_traffic`] |
 //! | e21 | egress priority queueing — per-class tails, strict priority vs FCFS | [`e21_priority_classes`] |
+//! | e22 | scheduler zoo — QPS-r vs the maximal-matching conflict envelope | [`e22_qps_crossbar`] |
+//! | e23 | scheduler zoo — SW-QPS sliding window: batch quality, zero batch delay | [`e23_sw_qps`] |
+//! | e24 | scheduler zoo — maximal matching with speedup (Cogill–Lall envelope) | [`e24_cioq_maximal`] |
 //! | a1 | §3 fault-tolerance motivation — plane failure ablation | [`a1_fault`] |
 //! | a2 | CPA speedup threshold ablation (S sweep across 2) | [`a2_speedup`] |
 //! | a3 | output-discipline ablation | [`a3_discipline`] |
@@ -62,6 +65,9 @@ pub mod e18_regulator_tradeoff;
 pub mod e19_stochastic_tails;
 pub mod e20_heavy_traffic;
 pub mod e21_priority_classes;
+pub mod e22_qps_crossbar;
+pub mod e23_sw_qps;
+pub mod e24_cioq_maximal;
 pub mod sweep;
 pub mod workload_cli;
 
@@ -159,6 +165,9 @@ pub fn registry() -> Vec<(&'static str, Runner)> {
         ("e19", e19_stochastic_tails::run),
         ("e20", e20_heavy_traffic::run),
         ("e21", e21_priority_classes::run),
+        ("e22", e22_qps_crossbar::run),
+        ("e23", e23_sw_qps::run),
+        ("e24", e24_cioq_maximal::run),
         ("a1", a1_fault::run),
         ("a2", a2_speedup::run),
         ("a3", a3_discipline::run),

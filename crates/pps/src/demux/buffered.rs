@@ -180,7 +180,12 @@ impl DelayedCpaDemux {
         self.deadline_misses
     }
 
-    fn assign(&mut self, cell: &Cell, ctx: &DispatchCtx<'_>) -> PlaneId {
+    /// Assign a ripe cell to a plane, or `None` when **no** input line is
+    /// free this slot — possible under faults (a degraded link stretches
+    /// `busy_until` past the one-release-per-slot invariant), in which
+    /// case the cell is held without touching the deadline oracle.
+    fn assign(&mut self, cell: &Cell, ctx: &DispatchCtx<'_>) -> Option<PlaneId> {
+        ctx.local.free_planes().next()?;
         let j = cell.output.idx();
         // FCFS-OQ deadline from the *arrival* slot, shifted by u.
         let dt = match self.dt_last[j] {
@@ -196,7 +201,7 @@ impl DelayedCpaDemux {
                 None => true,
             })
             .min_by_key(|&p| (self.last_reserved[p * self.n + j], p));
-        match feasible {
+        Some(match feasible {
             Some(p) => {
                 self.last_reserved[p * self.n + j] = Some(target);
                 PlaneId(p as u32)
@@ -206,7 +211,7 @@ impl DelayedCpaDemux {
                 let p = (0..self.k)
                     .filter(|&p| ctx.local.is_free(p))
                     .min_by_key(|&p| (self.last_reserved[p * self.n + j], p))
-                    .expect("some input line is always free at one release per slot");
+                    .expect("a free plane exists past the guard above");
                 let idx = p * self.n + j;
                 let at = match self.last_reserved[idx] {
                     Some(last) => target.max(last + self.r_prime),
@@ -215,7 +220,7 @@ impl DelayedCpaDemux {
                 self.last_reserved[idx] = Some(at);
                 PlaneId(p as u32)
             }
-        }
+        })
     }
 }
 
@@ -235,11 +240,13 @@ impl BufferedDemultiplexor for DelayedCpaDemux {
         let now = ctx.local.now;
         // Buffers are FIFO: ripe cells (held >= u slots) sit at the head.
         // At one arrival per slot at most one cell ripens per slot, so a
-        // single release suffices (and uses a single input line).
+        // single release suffices (and uses a single input line). Under
+        // faults every line may be busy; then the ripe head waits a slot.
         if let Some(head) = buffer.first() {
             if head.arrival + self.u <= now {
-                let plane = self.assign(head, ctx);
-                out.releases.push((0, plane));
+                if let Some(plane) = self.assign(head, ctx) {
+                    out.releases.push((0, plane));
+                }
             }
         }
         out.arrival = arrival.map(|_| ArrivalAction::Enqueue);
@@ -317,7 +324,11 @@ impl BufferedStaleDemux {
         self.hold
     }
 
-    fn pick(&mut self, input: usize, output: u32, ctx: &DispatchCtx<'_>) -> PlaneId {
+    /// Pick a plane for a ripe cell, or `None` when no input line is free
+    /// (possible under faults) — a state-neutral hold: the history prune
+    /// and append happen only on an actual pick.
+    fn pick(&mut self, input: usize, output: u32, ctx: &DispatchCtx<'_>) -> Option<PlaneId> {
+        ctx.local.free_planes().next()?;
         let horizon = ctx.global.map_or(0, |s| s.taken_at);
         while let Some(&(slot, _, _)) = self.recent[input].front() {
             if slot <= horizon {
@@ -339,9 +350,9 @@ impl BufferedStaleDemux {
         let p = (0..self.k)
             .filter(|&p| ctx.local.is_free(p))
             .min_by_key(|&p| (estimate(p), p))
-            .expect("some input line is free at one release per slot");
+            .expect("a free plane exists past the guard above");
         self.recent[input].push_back((ctx.local.now, p as u32, output));
-        PlaneId(p as u32)
+        Some(PlaneId(p as u32))
     }
 }
 
@@ -361,14 +372,18 @@ impl BufferedDemultiplexor for BufferedStaleDemux {
         let now = ctx.local.now;
         if let Some(head) = buffer.first() {
             if head.arrival + self.hold <= now {
-                let plane = self.pick(input.idx(), head.output.0, ctx);
-                out.releases.push((0, plane));
+                if let Some(plane) = self.pick(input.idx(), head.output.0, ctx) {
+                    out.releases.push((0, plane));
+                }
             }
         }
         let released_none = out.releases.is_empty();
         out.arrival = arrival.map(|cell| {
             if self.hold == 0 && released_none && buffer.is_empty() {
-                ArrivalAction::Dispatch(self.pick(input.idx(), cell.output.0, ctx))
+                match self.pick(input.idx(), cell.output.0, ctx) {
+                    Some(plane) => ArrivalAction::Dispatch(plane),
+                    None => ArrivalAction::Enqueue,
+                }
             } else {
                 ArrivalAction::Enqueue
             }
@@ -429,7 +444,11 @@ impl ArbitratedCrossbarDemux {
         }
     }
 
-    fn grant(&mut self, output: u32, ctx: &DispatchCtx<'_>) -> PlaneId {
+    /// Compute the grant for a ripe cell, or `None` when no input line is
+    /// free (possible under faults) — the grant is then retried next slot
+    /// with the arbiter state untouched.
+    fn grant(&mut self, output: u32, ctx: &DispatchCtx<'_>) -> Option<PlaneId> {
+        ctx.local.free_planes().next()?;
         let horizon = ctx.global.map_or(0, |s| s.taken_at);
         while let Some(&(slot, _, _)) = self.recent_grants.front() {
             if slot <= horizon {
@@ -452,10 +471,10 @@ impl ArbitratedCrossbarDemux {
         let p = (0..self.k)
             .filter(|&p| ctx.local.is_free(p))
             .min_by_key(|&p| (estimate(p), p))
-            .expect("some input line is always free at one release per slot");
+            .expect("a free plane exists past the guard above");
         self.recent_grants
             .push_back((ctx.local.now, p as u32, output));
-        PlaneId(p as u32)
+        Some(PlaneId(p as u32))
     }
 }
 
@@ -475,8 +494,9 @@ impl BufferedDemultiplexor for ArbitratedCrossbarDemux {
         let now = ctx.local.now;
         if let Some(head) = buffer.first() {
             if head.arrival + self.u <= now {
-                let plane = self.grant(head.output.0, ctx);
-                out.releases.push((0, plane));
+                if let Some(plane) = self.grant(head.output.0, ctx) {
+                    out.releases.push((0, plane));
+                }
             }
         }
         out.arrival = arrival.map(|_| ArrivalAction::Enqueue);
@@ -631,6 +651,41 @@ mod tests {
         let d0 = decide(&mut d, PortId(0), None, &[c0], &ctx(11, &free));
         let d1 = decide(&mut d, PortId(1), None, &[c1], &ctx(11, &free));
         assert_eq!(d0.releases[0].1, d1.releases[0].1);
+    }
+
+    #[test]
+    fn hold_then_release_demuxes_survive_all_lines_busy() {
+        // Under faults (a degraded link stretching busy_until) every line
+        // can be busy when a head ripens. Each hold-then-release demux
+        // must hold gracefully — and still release once a line frees —
+        // rather than panic on the one-release-per-slot assumption.
+        let busy = vec![1_000u64; 4];
+        let free = vec![0u64; 4];
+        let c = cell(0, 0, 1, 0);
+
+        let mut cpa = DelayedCpaDemux::new(2, 4, 2, 2);
+        let dec = decide(&mut cpa, PortId(0), None, &[c], &ctx(10, &busy));
+        assert!(dec.releases.is_empty(), "delayed-cpa must hold");
+        let dec = decide(&mut cpa, PortId(0), None, &[c], &ctx(1_000, &free));
+        assert_eq!(dec.releases.len(), 1, "delayed-cpa must recover");
+
+        let mut stale = BufferedStaleDemux::new(1, 4, 3, 1);
+        let dec = decide(&mut stale, PortId(0), None, &[c], &ctx(10, &busy));
+        assert!(dec.releases.is_empty(), "buffered-stale must hold");
+        let dec = decide(&mut stale, PortId(0), None, &[c], &ctx(1_000, &free));
+        assert_eq!(dec.releases.len(), 1, "buffered-stale must recover");
+
+        // hold = 0 direct-dispatch path: a busy wall turns into Enqueue.
+        let mut zero = BufferedStaleDemux::new(1, 4, 3, 0);
+        let arr = cell(1, 0, 1, 10);
+        let dec = decide(&mut zero, PortId(0), Some(&arr), &[], &ctx(10, &busy));
+        assert_eq!(dec.arrival, Some(ArrivalAction::Enqueue));
+
+        let mut arb = ArbitratedCrossbarDemux::new(4, 2);
+        let dec = decide(&mut arb, PortId(0), None, &[c], &ctx(10, &busy));
+        assert!(dec.releases.is_empty(), "arbitrated must hold");
+        let dec = decide(&mut arb, PortId(0), None, &[c], &ctx(1_000, &free));
+        assert_eq!(dec.releases.len(), 1, "arbitrated must recover");
     }
 
     #[test]

@@ -13,12 +13,14 @@
 //! | [`cpa`] | centralized plane assignment | centralized | Iyer et al. \[14\] zero-delay upper bound (S ≥ 2) |
 //! | [`buffered`] | buffered RR, delayed CPA, arbitrated crossbar | input-buffered | Section 4: Theorems 12 & 13 |
 //! | [`local_heuristics`] | per-flow hashing, local least-loaded | fully distributed | ablation victims for Theorem 8's universality |
+//! | [`load_balanced`] | two-stage LB rotation, power-of-`d` sampling | fully distributed | literature transplants (Chang–Lee; Mitzenmacher) still bound by Theorem 8 |
 //! | [`fault_aware`] | mask-aware round robin & least-loaded | centralized / `u`-RT | fail→recover ablation: reroute around planes believed down |
 
 pub mod buffered;
 pub mod cpa;
 pub mod fault_aware;
 pub mod ftd;
+pub mod load_balanced;
 pub mod local_heuristics;
 pub mod per_flow_rr;
 pub mod random;
@@ -26,10 +28,13 @@ pub mod round_robin;
 pub mod stale_least_loaded;
 pub mod static_partition;
 
-pub use buffered::{ArbitratedCrossbarDemux, BufferedRoundRobinDemux, DelayedCpaDemux};
+pub use buffered::{
+    ArbitratedCrossbarDemux, BufferedRoundRobinDemux, BufferedStaleDemux, DelayedCpaDemux,
+};
 pub use cpa::CpaDemux;
 pub use fault_aware::{FaultAwareLeastLoadedDemux, FaultAwareRoundRobinDemux};
 pub use ftd::FtdDemux;
+pub use load_balanced::{LeastLoadedOfDDemux, TwoStageLbDemux};
 pub use local_heuristics::{HashFlowDemux, LeastLoadedLocalDemux};
 pub use per_flow_rr::PerFlowRoundRobinDemux;
 pub use random::RandomDemux;

@@ -3,8 +3,11 @@
 //! Every generator in this crate draws from [`SplitMix64`] substreams
 //! derived from a single master seed through [`SplitMix64::derive`], the
 //! same finalizer mix the chaos harness uses for its per-case seeds
-//! (`pps_chaos::case_seed`). The discipline buys three properties the
-//! subsystem's contracts depend on:
+//! (`pps_chaos::case_seed`). The primitive itself lives in
+//! [`pps_core::rng`] — the sampling crossbar schedulers (`pps-crossbar`)
+//! and the power-of-`d` demultiplexor (`pps-switch`) share it — and this
+//! module re-exports it so workload call sites and the crate's public API
+//! are unchanged. The seed discipline the re-export carries over:
 //!
 //! * **replayability** — a `(seed, parameters)` pair regenerates the exact
 //!   cell stream, byte for byte, on any machine;
@@ -15,122 +18,11 @@
 //! * **allocation-free draws** — the generator state is one `u64`; the hot
 //!   path is three multiplies and some xors, with no heap in sight.
 
-/// One-word splittable PRNG (Steele, Lea & Flood's SplitMix64 finalizer).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct SplitMix64 {
-    state: u64,
-}
-
-/// The golden-ratio increment of the SplitMix64 stream.
-const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
-
-/// Apply the SplitMix64 output finalizer to `z` (also usable standalone as
-/// a high-quality 64→64-bit mixer for hashing flow ids to outputs).
-#[inline]
-pub fn mix64(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-impl SplitMix64 {
-    /// A generator seeded with `seed`.
-    #[inline]
-    pub fn new(seed: u64) -> Self {
-        SplitMix64 { state: seed }
-    }
-
-    /// Derive an independent substream tagged `tag` without consuming any
-    /// draws from this stream — the workload seed discipline: generator
-    /// `g` on input `i` draws from `master.derive(g).derive(i)`, so
-    /// streams never interleave whatever order components are stepped in.
-    #[inline]
-    pub fn derive(&self, tag: u64) -> SplitMix64 {
-        SplitMix64 {
-            state: mix64(self.state ^ tag.wrapping_mul(GAMMA)),
-        }
-    }
-
-    /// Next raw 64-bit draw.
-    #[inline]
-    pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(GAMMA);
-        mix64(self.state)
-    }
-
-    /// Uniform draw in `[0, 1)` with 53 mantissa bits.
-    #[inline]
-    pub fn next_f64(&mut self) -> f64 {
-        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
-    }
-
-    /// Uniform draw in `[0, n)` (multiply-shift; bias < n·2⁻⁶⁴).
-    #[inline]
-    pub fn below(&mut self, n: u64) -> u64 {
-        debug_assert!(n > 0, "below(0)");
-        ((self.next_u64() as u128 * n as u128) >> 64) as u64
-    }
-
-    /// Bernoulli draw with success probability `p ∈ [0, 1]`.
-    #[inline]
-    pub fn chance(&mut self, p: f64) -> bool {
-        debug_assert!((0.0..=1.0).contains(&p), "chance({p})");
-        self.next_f64() < p
-    }
-
-    /// Number of failures before the first success of a Bernoulli(`p`)
-    /// sequence — `Geometric(p)` on `{0, 1, 2, …}` via inversion, so a
-    /// per-slot-probability process can jump straight to its next event
-    /// instead of flipping a coin every slot. `p = 1` always returns 0;
-    /// `p = 0` saturates (the caller treats it as "never").
-    #[inline]
-    pub fn geometric(&mut self, p: f64) -> u64 {
-        debug_assert!((0.0..=1.0).contains(&p), "geometric({p})");
-        if p >= 1.0 {
-            return 0;
-        }
-        if p <= 0.0 {
-            return u64::MAX;
-        }
-        // Inversion: floor(ln(1-U) / ln(1-p)); 1-U is uniform on (0, 1].
-        let u = 1.0 - self.next_f64();
-        let g = u.ln() / (1.0 - p).ln();
-        if g >= u64::MAX as f64 {
-            u64::MAX
-        } else {
-            g as u64
-        }
-    }
-}
+pub use pps_core::rng::{mix64, SplitMix64};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn deterministic_and_seed_sensitive() {
-        let mut a = SplitMix64::new(42);
-        let mut b = SplitMix64::new(42);
-        let mut c = SplitMix64::new(43);
-        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
-        assert_eq!(x, y);
-        assert_ne!(x, z);
-    }
-
-    #[test]
-    fn derive_is_independent_of_consumption() {
-        // Deriving a substream must not depend on how many draws the
-        // parent has made — the substream is a function of (seed, tag).
-        let parent = SplitMix64::new(7);
-        let before = parent.derive(3);
-        let mut consumed = parent;
-        let _ = consumed.next_u64();
-        let _ = consumed.next_u64();
-        // `derive` takes &self: the original handle still derives the
-        // same substream.
-        assert_eq!(parent.derive(3), before);
-        assert_ne!(parent.derive(4), before);
-    }
 
     #[test]
     fn chance_extremes_are_exact() {
